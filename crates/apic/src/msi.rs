@@ -1,0 +1,180 @@
+//! Message-Signaled Interrupts (MSI/MSI-X).
+//!
+//! §V-C: *"Guest devices in KVM are implemented as standard PCI devices with
+//! the Message Signaled Interrupt (MSI) architecture or its extension MSI-X.
+//! The destination vCPU ID of a virtual interrupt is specified in the
+//! MSI/MSI-X address, determined by the guest's interrupt affinity setting.
+//! ES2 does not reprogram the interrupt configuration at the sources [...]
+//! Instead, ES2 intercepts MSI/MSI-X type virtual interrupts in a key
+//! function called `kvm_set_msi_irq`, and modifies the destination vCPU to
+//! the selected target."*
+//!
+//! The address/data encoding below follows the Intel SDM layout so the
+//! router sees exactly the fields real KVM parses.
+
+use crate::vectors::Vector;
+
+/// MSI delivery mode (address/data bits 10:8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// Deliver to the CPU(s) named by the destination field.
+    Fixed,
+    /// Deliver to the lowest-priority CPU among the destination set —
+    /// Linux's default for `apic_flat`/`apic_default` with ≤ 8 CPUs (§V-C),
+    /// which is what makes redirection architecturally valid.
+    LowestPriority,
+}
+
+/// MSI destination mode (address bit 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DestMode {
+    /// Destination field is a physical APIC ID.
+    Physical,
+    /// Destination field is a logical mask.
+    Logical,
+}
+
+/// A decoded MSI/MSI-X message as seen by `kvm_set_msi_irq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MsiMessage {
+    /// Destination APIC ID (interpreted per `dest_mode`). For the guest's
+    /// virtio queues this encodes the interrupt-affinity vCPU.
+    pub dest_id: u8,
+    /// Physical vs logical addressing.
+    pub dest_mode: DestMode,
+    /// Fixed vs lowest-priority arbitration.
+    pub delivery_mode: DeliveryMode,
+    /// The interrupt vector the guest programmed for this queue.
+    pub vector: Vector,
+}
+
+impl MsiMessage {
+    /// MSI address base (upper bits of the 32-bit address dword).
+    pub const ADDRESS_BASE: u32 = 0xfee0_0000;
+
+    /// A fixed-mode, physically addressed message — the common shape for a
+    /// virtio queue interrupt bound to one vCPU.
+    pub fn fixed(dest_id: u8, vector: Vector) -> Self {
+        MsiMessage {
+            dest_id,
+            dest_mode: DestMode::Physical,
+            delivery_mode: DeliveryMode::Fixed,
+            vector,
+        }
+    }
+
+    /// A lowest-priority, logically addressed message — what Linux programs
+    /// with the `apic_flat` driver (§V-C).
+    pub fn lowest_priority(dest_mask: u8, vector: Vector) -> Self {
+        MsiMessage {
+            dest_id: dest_mask,
+            dest_mode: DestMode::Logical,
+            delivery_mode: DeliveryMode::LowestPriority,
+            vector,
+        }
+    }
+
+    /// Encode into the architectural (address, data) dword pair.
+    pub fn encode(&self) -> (u32, u16) {
+        let mut addr = Self::ADDRESS_BASE | ((self.dest_id as u32) << 12);
+        if self.dest_mode == DestMode::Logical {
+            addr |= 1 << 2;
+        }
+        if self.delivery_mode == DeliveryMode::LowestPriority {
+            addr |= 1 << 3; // redirection hint accompanies lowest-priority
+        }
+        let mut data = self.vector as u16;
+        if self.delivery_mode == DeliveryMode::LowestPriority {
+            data |= 0b001 << 8;
+        }
+        (addr, data)
+    }
+
+    /// Decode from the architectural (address, data) pair.
+    pub fn decode(addr: u32, data: u16) -> Self {
+        let dest_id = ((addr >> 12) & 0xff) as u8;
+        let dest_mode = if addr & (1 << 2) != 0 {
+            DestMode::Logical
+        } else {
+            DestMode::Physical
+        };
+        let delivery_mode = if (data >> 8) & 0b111 == 0b001 {
+            DeliveryMode::LowestPriority
+        } else {
+            DeliveryMode::Fixed
+        };
+        MsiMessage {
+            dest_id,
+            dest_mode,
+            delivery_mode,
+            vector: (data & 0xff) as u8,
+        }
+    }
+
+    /// Return a copy with the destination replaced — the redirection write
+    /// ES2 performs inside `kvm_set_msi_irq`.
+    pub fn with_dest(&self, dest_id: u8) -> Self {
+        MsiMessage { dest_id, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_message_shape() {
+        let m = MsiMessage::fixed(2, 0x41);
+        assert_eq!(m.dest_id, 2);
+        assert_eq!(m.delivery_mode, DeliveryMode::Fixed);
+        assert_eq!(m.dest_mode, DestMode::Physical);
+    }
+
+    #[test]
+    fn encode_matches_sdm_layout() {
+        let (addr, data) = MsiMessage::fixed(3, 0x55).encode();
+        assert_eq!(addr & 0xfff0_0000, MsiMessage::ADDRESS_BASE);
+        assert_eq!((addr >> 12) & 0xff, 3);
+        assert_eq!(addr & (1 << 2), 0, "physical mode");
+        assert_eq!(data & 0xff, 0x55);
+        assert_eq!((data >> 8) & 0b111, 0, "fixed mode");
+    }
+
+    #[test]
+    fn lowest_priority_sets_mode_bits() {
+        let (addr, data) = MsiMessage::lowest_priority(0b1111, 0x61).encode();
+        assert_ne!(addr & (1 << 2), 0, "logical mode");
+        assert_ne!(addr & (1 << 3), 0, "redirection hint");
+        assert_eq!((data >> 8) & 0b111, 0b001);
+    }
+
+    #[test]
+    fn redirection_rewrites_only_destination() {
+        let m = MsiMessage::lowest_priority(0b0001, 0x41);
+        let r = m.with_dest(0b0100);
+        assert_eq!(r.dest_id, 0b0100);
+        assert_eq!(r.vector, m.vector);
+        assert_eq!(r.delivery_mode, m.delivery_mode);
+    }
+
+    proptest! {
+        /// encode/decode round-trips every field.
+        #[test]
+        fn prop_encode_decode_roundtrip(
+            dest in any::<u8>(),
+            vector in any::<u8>(),
+            logical in any::<bool>(),
+            lowpri in any::<bool>(),
+        ) {
+            let m = MsiMessage {
+                dest_id: dest,
+                dest_mode: if logical { DestMode::Logical } else { DestMode::Physical },
+                delivery_mode: if lowpri { DeliveryMode::LowestPriority } else { DeliveryMode::Fixed },
+                vector,
+            };
+            let (addr, data) = m.encode();
+            prop_assert_eq!(MsiMessage::decode(addr, data), m);
+        }
+    }
+}

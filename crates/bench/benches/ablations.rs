@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! redirection target policy, offline-list prediction policy, and quota
+//! sensitivity on a macro workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es2_sim::SimDuration;
+use es2_testbed::{experiments, Params};
+use std::hint::black_box;
+
+const SEED: u64 = 20170814;
+
+fn params() -> Params {
+    Params {
+        warmup: SimDuration::from_millis(50),
+        measure: SimDuration::from_secs(2),
+        ..Params::default()
+    }
+}
+
+fn target_policy(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("ablation_target_policy");
+    g.sample_size(10);
+    g.bench_function("four_policies_ping", |b| {
+        b.iter(|| black_box(experiments::ablation_target_policy(p, SEED)))
+    });
+    g.finish();
+}
+
+fn offline_policy(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("ablation_offline_policy");
+    g.sample_size(10);
+    g.bench_function("three_policies_ping", |b| {
+        b.iter(|| black_box(experiments::ablation_offline_policy(p, SEED)))
+    });
+    g.finish();
+}
+
+fn mc_quota(c: &mut Criterion) {
+    let mut p = params();
+    p.measure = SimDuration::from_millis(300);
+    let mut g = c.benchmark_group("ablation_mc_quota");
+    g.sample_size(10);
+    g.bench_function("quota_sweep_memcached", |b| {
+        b.iter(|| black_box(experiments::ablation_mc_quota(p, SEED, &[2, 4, 8, 16])))
+    });
+    g.finish();
+}
+
+fn stacking(c: &mut Criterion) {
+    let mut p = params();
+    p.measure = SimDuration::from_secs(4);
+    let mut g = c.benchmark_group("stacking_probability");
+    g.sample_size(10);
+    g.bench_function("ping_offline_fraction", |b| {
+        b.iter(|| black_box(experiments::stacking_probability(p, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, target_policy, offline_policy, mc_quota, stacking);
+criterion_main!(benches);

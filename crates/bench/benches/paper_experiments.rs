@@ -1,0 +1,105 @@
+//! Criterion benchmarks regenerating every table and figure of the paper.
+//!
+//! Each benchmark runs the corresponding experiment end-to-end on a
+//! shortened measurement window (the *shape* of the result is identical;
+//! see the `repro` binary for full-length runs and the printed tables).
+//! Criterion's statistics here measure the *simulator's* wall-clock cost,
+//! which doubles as a performance regression guard for the DES engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es2_sim::SimDuration;
+use es2_testbed::{experiments, Params};
+use std::hint::black_box;
+
+const SEED: u64 = 20170814;
+
+fn bench_params() -> Params {
+    Params {
+        warmup: SimDuration::from_millis(50),
+        measure: SimDuration::from_millis(200),
+        ..Params::default()
+    }
+}
+
+fn table1(c: &mut Criterion) {
+    let p = bench_params();
+    c.bench_function("table1_exit_breakdown", |b| {
+        b.iter(|| black_box(experiments::table1(p, SEED)))
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("fig4_quota_sweep");
+    g.sample_size(10);
+    g.bench_function("udp_256_quota8", |b| {
+        b.iter(|| black_box(experiments::fig4_point(true, 256, 8, p, SEED)))
+    });
+    g.bench_function("tcp_1024_quota4", |b| {
+        b.iter(|| black_box(experiments::fig4_point(false, 1024, 4, p, SEED)))
+    });
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("fig5_exit_breakdown");
+    g.sample_size(10);
+    g.bench_function("send_tcp", |b| {
+        b.iter(|| black_box(experiments::fig5(true, false, p, SEED)))
+    });
+    g.bench_function("recv_udp", |b| {
+        b.iter(|| black_box(experiments::fig5(false, true, p, SEED)))
+    });
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("fig6_throughput");
+    g.sample_size(10);
+    g.bench_function("send_1024", |b| {
+        b.iter(|| black_box(experiments::fig6(true, 1024, p, SEED)))
+    });
+    g.bench_function("recv_1024", |b| {
+        b.iter(|| black_box(experiments::fig6(false, 1024, p, SEED)))
+    });
+    g.finish();
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut p = bench_params();
+    p.measure = SimDuration::from_secs(2);
+    let mut g = c.benchmark_group("fig7_ping_rtt");
+    g.sample_size(10);
+    g.bench_function("three_configs", |b| {
+        b.iter(|| black_box(experiments::fig7(p, SEED)))
+    });
+    g.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("fig8_macro");
+    g.sample_size(10);
+    g.bench_function("memcached", |b| {
+        b.iter(|| black_box(experiments::fig8_memcached(p, SEED)))
+    });
+    g.bench_function("apache", |b| {
+        b.iter(|| black_box(experiments::fig8_apache(p, SEED)))
+    });
+    g.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("fig9_httperf");
+    g.sample_size(10);
+    g.bench_function("rate_2200", |b| {
+        b.iter(|| black_box(experiments::fig9(&[2200.0], p, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1, fig4, fig5, fig6, fig7, fig8, fig9);
+criterion_main!(benches);

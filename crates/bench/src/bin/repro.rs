@@ -1,0 +1,90 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [all] [--fast]
+//! ```
+//!
+//! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
+//! absolute rates then drift a little but shapes hold.
+
+use es2_bench::*;
+use es2_sim::SimDuration;
+use es2_testbed::Params;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if what.is_empty() || what.contains(&"all") {
+        what = vec![
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "sriov",
+            "ablations",
+        ];
+    }
+
+    let mut params = Params::default();
+    if fast {
+        params.warmup = SimDuration::from_millis(100);
+        params.measure = SimDuration::from_millis(400);
+    }
+
+    for w in what {
+        match w {
+            "table1" => println!("{}", render_table1(params, SEED)),
+            "fig4" => println!("{}", render_fig4(params, SEED)),
+            "fig5" => println!("{}", render_fig5(params, SEED)),
+            "fig6" => {
+                let sizes: &[u32] = if fast {
+                    &[256, 1024]
+                } else {
+                    &[64, 256, 512, 1024, 2048]
+                };
+                println!("{}", render_fig6(params, SEED, sizes));
+            }
+            "fig7" => {
+                // Ping needs a long run for enough 1 s samples.
+                let mut p = params;
+                p.measure = if fast {
+                    SimDuration::from_secs(10)
+                } else {
+                    SimDuration::from_secs(30)
+                };
+                println!("{}", render_fig7(p, SEED));
+            }
+            "fig8" => println!("{}", render_fig8(params, SEED)),
+            "fig9" => {
+                let rates: &[f64] = if fast {
+                    &[1000.0, 1400.0, 1800.0, 2200.0, 2600.0, 3000.0]
+                } else {
+                    &[
+                        200.0, 600.0, 1000.0, 1400.0, 1600.0, 1800.0, 2000.0, 2200.0, 2400.0,
+                        2600.0, 2800.0, 3000.0,
+                    ]
+                };
+                println!("{}", render_fig9(params, SEED, rates));
+            }
+            "sriov" => println!("{}", render_sriov(params, SEED)),
+            "ablations" => {
+                let mut p = params;
+                p.measure = if fast {
+                    SimDuration::from_secs(4)
+                } else {
+                    SimDuration::from_secs(15)
+                };
+                println!("{}", render_ablations(p, SEED));
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}

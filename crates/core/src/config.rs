@@ -1,0 +1,140 @@
+//! The four measured configurations of §VI-A.
+
+/// Parameters of the hybrid I/O handling scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridParams {
+    /// Maximum I/O requests a handler may poll per scheduling turn before
+    /// being requeued (the `poll_quota` module parameter of §V-A).
+    pub quota: u32,
+}
+
+impl HybridParams {
+    /// The quota selected for TCP streams in §VI-B.
+    pub const TCP_QUOTA: u32 = 4;
+    /// The quota selected for UDP streams in §VI-B.
+    pub const UDP_QUOTA: u32 = 8;
+
+    /// Hybrid handling with an explicit quota.
+    pub fn with_quota(quota: u32) -> Self {
+        assert!(quota > 0, "quota must be positive");
+        HybridParams { quota }
+    }
+}
+
+/// One of the evaluated event-path configurations.
+///
+/// §VI-A: *"Baseline: KVM 4.2.8 with PI disabled; PI: KVM 4.2.8 with PI
+/// enabled; PI+H: adding the Hybrid I/O Handling scheme based on the PI
+/// configuration; PI+H+R: adding the Intelligent Interrupt Redirection on
+/// the basis of the PI+H configuration, i.e., the full ES2."*
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventPathConfig {
+    /// Posted interrupts enabled (exit-less delivery and completion).
+    pub use_pi: bool,
+    /// Hybrid I/O handling; `None` means stock exit-based notification.
+    pub hybrid: Option<HybridParams>,
+    /// Intelligent interrupt redirection enabled.
+    pub redirect: bool,
+}
+
+impl EventPathConfig {
+    /// KVM with PI disabled: emulated-LAPIC interrupt path, exit-based
+    /// notification.
+    pub fn baseline() -> Self {
+        EventPathConfig {
+            use_pi: false,
+            hybrid: None,
+            redirect: false,
+        }
+    }
+
+    /// PI enabled, stock I/O request path.
+    pub fn pi() -> Self {
+        EventPathConfig {
+            use_pi: true,
+            hybrid: None,
+            redirect: false,
+        }
+    }
+
+    /// PI + hybrid I/O handling with the given quota.
+    pub fn pi_h(quota: u32) -> Self {
+        EventPathConfig {
+            use_pi: true,
+            hybrid: Some(HybridParams::with_quota(quota)),
+            redirect: false,
+        }
+    }
+
+    /// Full ES2: PI + hybrid handling + intelligent redirection.
+    pub fn pi_h_r(quota: u32) -> Self {
+        EventPathConfig {
+            use_pi: true,
+            hybrid: Some(HybridParams::with_quota(quota)),
+            redirect: true,
+        }
+    }
+
+    /// The four canonical configurations in the order the paper plots them.
+    pub fn all_four(quota: u32) -> [EventPathConfig; 4] {
+        [
+            Self::baseline(),
+            Self::pi(),
+            Self::pi_h(quota),
+            Self::pi_h_r(quota),
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match (self.use_pi, self.hybrid.is_some(), self.redirect) {
+            (false, false, false) => "Baseline",
+            (true, false, false) => "PI",
+            (true, true, false) => "PI+H",
+            (true, true, true) => "PI+H+R",
+            _ => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_labels() {
+        assert_eq!(EventPathConfig::baseline().label(), "Baseline");
+        assert_eq!(EventPathConfig::pi().label(), "PI");
+        assert_eq!(EventPathConfig::pi_h(4).label(), "PI+H");
+        assert_eq!(EventPathConfig::pi_h_r(4).label(), "PI+H+R");
+    }
+
+    #[test]
+    fn all_four_are_ordered_and_distinct() {
+        let all = EventPathConfig::all_four(8);
+        let labels: Vec<_> = all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["Baseline", "PI", "PI+H", "PI+H+R"]);
+    }
+
+    #[test]
+    fn paper_quotas() {
+        assert_eq!(HybridParams::TCP_QUOTA, 4);
+        assert_eq!(HybridParams::UDP_QUOTA, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn zero_quota_rejected() {
+        HybridParams::with_quota(0);
+    }
+
+    #[test]
+    fn off_diagonal_config_is_custom() {
+        let weird = EventPathConfig {
+            use_pi: false,
+            hybrid: Some(HybridParams::with_quota(4)),
+            redirect: false,
+        };
+        assert_eq!(weird.label(), "custom");
+    }
+}

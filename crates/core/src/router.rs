@@ -1,0 +1,108 @@
+//! The ES2 MSI router — the `kvm_set_msi_irq` interception (§V-C).
+//!
+//! Wraps the stock affinity resolution with the redirection engine: the
+//! affinity destination is computed first (what stock KVM would do), then
+//! the engine may override it for device vectors based on real-time
+//! scheduling status.
+
+use es2_hypervisor::{AffinityRouter, MsiRouter, RouteCtx, VcpuId};
+
+use crate::redirect::RedirectionEngine;
+
+/// ES2's drop-in replacement for KVM's MSI routing.
+#[derive(Clone, Debug)]
+pub struct Es2Router {
+    engine: RedirectionEngine,
+    affinity: AffinityRouter,
+}
+
+impl Es2Router {
+    /// A router over a fresh [`RedirectionEngine`].
+    pub fn new(engine: RedirectionEngine) -> Self {
+        Es2Router {
+            engine,
+            affinity: AffinityRouter,
+        }
+    }
+
+    /// Access the engine (scheduler notifier feed, statistics).
+    pub fn engine(&self) -> &RedirectionEngine {
+        &self.engine
+    }
+
+    /// Mutable access (scheduler notifier feed).
+    pub fn engine_mut(&mut self) -> &mut RedirectionEngine {
+        &mut self.engine
+    }
+}
+
+impl MsiRouter for Es2Router {
+    fn route(&mut self, msg: &es2_apic::MsiMessage, ctx: &RouteCtx<'_>) -> VcpuId {
+        let default = self.affinity.route(msg, ctx);
+        let chosen = self
+            .engine
+            .select_target(ctx.vm.0 as usize, msg.vector, default.idx);
+        VcpuId {
+            vm: ctx.vm,
+            idx: chosen,
+        }
+    }
+
+    fn on_sched_change(&mut self, vcpu: VcpuId, online: bool) {
+        if online {
+            self.engine.sched_in(vcpu.vm.0 as usize, vcpu.idx);
+        } else {
+            self.engine.sched_out(vcpu.vm.0 as usize, vcpu.idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es2_apic::vectors::LOCAL_TIMER_VECTOR;
+    use es2_apic::MsiMessage;
+    use es2_hypervisor::VmId;
+
+    fn ctx<'a>(online: &'a [bool], load: &'a [u64]) -> RouteCtx<'a> {
+        RouteCtx {
+            vm: VmId(0),
+            num_vcpus: online.len() as u32,
+            online,
+            irq_load: load,
+        }
+    }
+
+    #[test]
+    fn device_msi_redirected_to_online_vcpu() {
+        let mut r = Es2Router::new(RedirectionEngine::new(1, 4));
+        r.on_sched_change(VcpuId::new(0, 2), true);
+        let online = [false, false, true, false];
+        let load = [0; 4];
+        let dst = r.route(&MsiMessage::fixed(0, 0x41), &ctx(&online, &load));
+        assert_eq!(dst, VcpuId::new(0, 2));
+        assert_eq!(r.engine().redirection_count(), 1);
+    }
+
+    #[test]
+    fn timer_msi_passes_through() {
+        let mut r = Es2Router::new(RedirectionEngine::new(1, 4));
+        r.on_sched_change(VcpuId::new(0, 2), true);
+        let online = [false, false, true, false];
+        let load = [0; 4];
+        let dst = r.route(
+            &MsiMessage::fixed(0, LOCAL_TIMER_VECTOR),
+            &ctx(&online, &load),
+        );
+        assert_eq!(dst, VcpuId::new(0, 0), "affinity respected");
+    }
+
+    #[test]
+    fn sched_notifications_flow_into_engine() {
+        let mut r = Es2Router::new(RedirectionEngine::new(1, 2));
+        r.on_sched_change(VcpuId::new(0, 1), true);
+        assert!(r.engine().is_online(0, 1));
+        r.on_sched_change(VcpuId::new(0, 1), false);
+        assert!(!r.engine().is_online(0, 1));
+    }
+}

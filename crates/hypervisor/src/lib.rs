@@ -1,0 +1,38 @@
+//! KVM-like hypervisor substrate: VM exits, event injection, posted
+//! interrupts and MSI routing.
+//!
+//! §II-B of the paper identifies the three privileged operations of the
+//! virtual I/O event path, each of which costs a VM exit under
+//! trap-and-emulate:
+//!
+//! 1. the guest's **I/O request** (the virtqueue kick) — an
+//!    `I/O Instruction` exit,
+//! 2. **interrupt delivery** — a kick IPI forcing an `External Interrupt`
+//!    exit on the target core, followed by event injection at VM entry,
+//! 3. **interrupt completion** — the guest's EOI write, an `APIC Access`
+//!    exit.
+//!
+//! This crate models that machinery:
+//!
+//! * [`exit`] — exit reasons, per-reason statistics (the `perf-kvm`
+//!   breakdown of Table I / Fig. 5) and the calibrated cost model,
+//! * [`vcpu`] — the per-vCPU interrupt state machine over both delivery
+//!   paths: the emulated-LAPIC path (kick IPI + injection + EOI exits) and
+//!   the posted-interrupt path (exit-less, §III),
+//! * [`router`] — the `kvm_set_msi_irq` equivalent: an [`router::MsiRouter`]
+//!   trait deciding the destination vCPU of each device MSI. Stock KVM uses
+//!   [`router::AffinityRouter`] (follow the guest's affinity setting); ES2
+//!   plugs its intelligent redirection in here without touching anything
+//!   else, mirroring how the real patch hooks a single function.
+//!
+//! Timing is owned by the discrete-event testbed: this crate reports *what
+//! happens* (which exits, which IPIs); the testbed charges the costs from
+//! [`exit::ExitCosts`].
+
+pub mod exit;
+pub mod router;
+pub mod vcpu;
+
+pub use exit::{ExitCosts, ExitReason, ExitStats};
+pub use router::{AffinityRouter, MsiRouter, RouteCtx};
+pub use vcpu::{DeliveryOutcome, InterruptPath, Vcpu, VcpuId, VmId};

@@ -1,0 +1,183 @@
+//! Event counters and rate windows.
+
+use es2_sim::{SimDuration, SimTime};
+
+/// A monotone event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Count divided by an elapsed span, in events per second.
+    pub fn rate_per_sec(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Reset to zero, returning the old value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A counter observed over an explicit measurement window.
+///
+/// Experiments typically run a warm-up phase before opening the window so
+/// that steady-state rates are reported, mirroring how `perf-kvm stat`
+/// sessions are started after the benchmark ramps up.
+#[derive(Clone, Debug)]
+pub struct RateWindow {
+    count: u64,
+    window_open: Option<SimTime>,
+    window_len: SimDuration,
+    counted_in_window: u64,
+}
+
+impl Default for RateWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateWindow {
+    /// A window that has not been opened yet; events before `open` are
+    /// counted in the lifetime total but not the window.
+    pub fn new() -> Self {
+        RateWindow {
+            count: 0,
+            window_open: None,
+            window_len: SimDuration::ZERO,
+            counted_in_window: 0,
+        }
+    }
+
+    /// Begin the measurement window at `now`.
+    pub fn open(&mut self, now: SimTime) {
+        self.window_open = Some(now);
+        self.counted_in_window = 0;
+    }
+
+    /// Close the window at `now`; subsequent events are excluded.
+    pub fn close(&mut self, now: SimTime) {
+        if let Some(open) = self.window_open.take() {
+            self.window_len = now.since(open);
+        }
+    }
+
+    /// Record one event at any time.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.count += 1;
+        if self.window_open.is_some() {
+            self.counted_in_window += 1;
+        }
+    }
+
+    /// Lifetime count.
+    pub fn total(&self) -> u64 {
+        self.count
+    }
+
+    /// Count within the (closed) window.
+    pub fn windowed(&self) -> u64 {
+        self.counted_in_window
+    }
+
+    /// Events per second within the (closed) window.
+    pub fn rate_per_sec(&self) -> f64 {
+        if self.window_len.is_zero() {
+            0.0
+        } else {
+            self.counted_in_window as f64 / self.window_len.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.add(500);
+        assert!((c.rate_per_sec(SimDuration::from_millis(500)) - 1000.0).abs() < 1e-9);
+        assert_eq!(c.rate_per_sec(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn window_excludes_warmup_and_cooldown() {
+        let mut w = RateWindow::new();
+        w.incr(); // warm-up, excluded
+        w.open(t(100));
+        for _ in 0..50 {
+            w.incr();
+        }
+        w.close(t(600)); // 0.5 s window
+        w.incr(); // after close, excluded
+        assert_eq!(w.total(), 52);
+        assert_eq!(w.windowed(), 50);
+        assert!((w.rate_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unopened_window_reports_zero_rate() {
+        let mut w = RateWindow::new();
+        w.incr();
+        assert_eq!(w.rate_per_sec(), 0.0);
+        assert_eq!(w.windowed(), 0);
+    }
+
+    #[test]
+    fn reopening_window_resets_window_count() {
+        let mut w = RateWindow::new();
+        w.open(t(0));
+        w.incr();
+        w.close(t(100));
+        w.open(t(200));
+        w.incr();
+        w.incr();
+        w.close(t(300));
+        assert_eq!(w.windowed(), 2);
+        assert_eq!(w.total(), 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! Log-linear histograms for latency distributions.
+//!
+//! An HDR-style histogram over `u64` values (we record nanoseconds): values
+//! are bucketed into a power-of-two *major* tier subdivided into a fixed
+//! number of linear *minor* buckets, giving a bounded relative error
+//! (~1/`SUBBUCKETS`) over the full 64-bit range with a few KiB of memory.
+
+const SUBBUCKET_BITS: u32 = 5;
+const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS; // 32 per tier => <= ~3% relative error
+
+/// A log-linear histogram of `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    // Values below SUBBUCKETS map linearly; above, each power-of-two tier is
+    // split into SUBBUCKETS linear sub-buckets.
+    if value < SUBBUCKETS {
+        return value as usize;
+    }
+    let tier = 63 - value.leading_zeros() as u64; // floor(log2(value)), >= SUBBUCKET_BITS
+    let tier_off = tier - SUBBUCKET_BITS as u64;
+    let sub = (value >> tier_off) - SUBBUCKETS; // 0..SUBBUCKETS
+    ((tier_off + 1) * SUBBUCKETS + sub) as usize
+}
+
+/// Upper bound (inclusive representative) of a bucket — used to report
+/// percentiles.
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBBUCKETS {
+        return index;
+    }
+    let tier_off = index / SUBBUCKETS - 1;
+    let sub = index % SUBBUCKETS;
+    ((SUBBUCKETS + sub + 1) << tier_off) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // 64-bit range: tiers 0..=58 above the linear region.
+        let nbuckets = bucket_index(u64::MAX) + 1;
+        Histogram {
+            buckets: vec![0; nbuckets],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, with bucket resolution.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset all state.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert!((h.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        // Within bucket resolution (~3%) of the true quantile.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05, "{p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05, "{p99}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_at_boundaries() {
+        let mut prev = 0;
+        for exp in 0..63 {
+            for delta in [0u64, 1] {
+                let v = (1u64 << exp) + delta;
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "v={v} idx={idx} prev={prev}");
+                prev = idx;
+            }
+        }
+    }
+
+    proptest! {
+        /// Every value's bucket upper bound is >= the value's bucket lower
+        /// neighbour and the relative error of the representative is bounded.
+        #[test]
+        fn prop_bucket_relative_error(v in 1u64..u64::MAX / 2) {
+            let idx = bucket_index(v);
+            let hi = bucket_high(idx);
+            prop_assert!(hi >= v, "hi={hi} v={v}");
+            // hi overestimates by at most one sub-bucket width ~ v/32 + 1.
+            prop_assert!(hi - v <= v / 16 + 1, "hi={hi} v={v}");
+        }
+
+        /// bucket_index is monotone.
+        #[test]
+        fn prop_bucket_index_monotone(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+
+        /// max/min/count survive arbitrary sequences.
+        #[test]
+        fn prop_extrema(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        }
+    }
+}

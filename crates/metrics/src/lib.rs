@@ -1,0 +1,29 @@
+//! Measurement infrastructure for ES2 experiments.
+//!
+//! This crate reproduces the *measurement methodology* of the paper's
+//! evaluation (§VI):
+//!
+//! * [`counter`] — event counters and per-second rates (the `perf-kvm`
+//!   style exit statistics of Table I / Fig. 5),
+//! * [`tig`] — time-in-guest accounting ("calculated by summing up the time
+//!   of each VM entry and exit, and then dividing the result by the total
+//!   elapsed time"),
+//! * [`histogram`] — log-linear latency histograms (ping RTT, connection
+//!   times),
+//! * [`summary`] — streaming mean/variance/min/max (Welford),
+//! * [`timeseries`] — sampled `(time, value)` series (Fig. 7's RTT trace),
+//! * [`table`] — plain-text table rendering for the repro binaries.
+
+pub mod counter;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+pub mod tig;
+pub mod timeseries;
+
+pub use counter::{Counter, RateWindow};
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::Table;
+pub use tig::TigAccount;
+pub use timeseries::TimeSeries;

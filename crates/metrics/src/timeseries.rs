@@ -1,0 +1,143 @@
+//! Sampled `(time, value)` series.
+//!
+//! Used for traces like Fig. 7 (ping RTT over a run) where the *series
+//! shape* — not just a summary — is the result.
+
+use es2_sim::SimTime;
+
+/// An append-only series of `(time, value)` samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample. Samples must arrive in non-decreasing time order
+    /// (debug-asserted).
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| at >= t),
+            "time series samples must be ordered"
+        );
+        self.points.push((at, value));
+    }
+
+    /// All samples in order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest value (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Arithmetic mean of values (None if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Fraction of samples with value at most `bound`.
+    pub fn fraction_at_most(&self, bound: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|&&(_, v)| v <= bound).count() as f64 / self.points.len() as f64
+    }
+
+    /// Downsample to at most `n` points by keeping the max of each chunk
+    /// (preserves peaks, which is what latency traces care about).
+    pub fn downsample_max(&self, n: usize) -> TimeSeries {
+        if n == 0 || self.points.len() <= n {
+            return self.clone();
+        }
+        let chunk = self.points.len().div_ceil(n);
+        let mut out = TimeSeries::new();
+        for c in self.points.chunks(chunk) {
+            let &(t_last, _) = c.last().expect("nonempty chunk");
+            let vmax = c.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+            out.push(t_last, vmax);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es2_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = TimeSeries::new();
+        s.push(t(1), 1.0);
+        s.push(t(2), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[1], (t(2), 3.0));
+    }
+
+    #[test]
+    fn stats() {
+        let mut s = TimeSeries::new();
+        for (i, v) in [1.0, 5.0, 3.0].into_iter().enumerate() {
+            s.push(t(i as u64), v);
+        }
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.mean(), Some(3.0));
+        assert!((s.fraction_at_most(3.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.fraction_at_most(1.0), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_peaks() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(t(i), if i == 57 { 99.0 } else { 1.0 });
+        }
+        let d = s.downsample_max(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.max(), Some(99.0));
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        let d = s.downsample_max(10);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded NIC / device queues with tail-drop.
+//!
+//! Between the wire and the vhost backend sits a bounded queue (the real
+//! system's NIC ring + host network stack backlog). When the guest cannot
+//! drain its receive path fast enough — the receive-side experiments of
+//! Fig. 6b — this queue fills and tail-drops, which is precisely where lost
+//! UDP throughput and TCP window stalls come from.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// A bounded FIFO packet queue with drop accounting.
+#[derive(Clone, Debug)]
+pub struct NicQueue {
+    q: VecDeque<Packet>,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+}
+
+impl NicQueue {
+    /// A queue holding at most `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        NicQueue {
+            q: VecDeque::with_capacity(capacity),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enqueue; returns `false` (and counts a drop) if full.
+    pub fn push(&mut self, p: Packet) -> bool {
+        if self.q.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.q.push_back(p);
+            self.enqueued += 1;
+            true
+        }
+    }
+
+    /// Dequeue the oldest packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.q.pop_front()
+    }
+
+    /// Peek at the oldest packet.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.q.front()
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.q.len() >= self.capacity
+    }
+
+    /// Lifetime accepted packets.
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Lifetime tail-drops.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop rate over everything offered.
+    pub fn drop_fraction(&self) -> f64 {
+        let offered = self.enqueued + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketFactory, PacketKind};
+    use es2_sim::SimTime;
+
+    fn pkt(f: &mut PacketFactory) -> Packet {
+        f.make(FlowId(0), PacketKind::Data, 100, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut f = PacketFactory::new();
+        let mut q = NicQueue::new(4);
+        let a = pkt(&mut f);
+        let b = pkt(&mut f);
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.pop().unwrap().id, a.id);
+        assert_eq!(q.pop().unwrap().id, b.id);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut f = PacketFactory::new();
+        let mut q = NicQueue::new(2);
+        assert!(q.push(pkt(&mut f)));
+        assert!(q.push(pkt(&mut f)));
+        assert!(q.is_full());
+        assert!(!q.push(pkt(&mut f)));
+        assert_eq!(q.dropped_total(), 1);
+        assert_eq!(q.enqueued_total(), 2);
+        assert!((q.drop_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_reopens_capacity() {
+        let mut f = PacketFactory::new();
+        let mut q = NicQueue::new(1);
+        q.push(pkt(&mut f));
+        assert!(!q.push(pkt(&mut f)));
+        q.pop();
+        assert!(q.push(pkt(&mut f)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = PacketFactory::new();
+        let mut q = NicQueue::new(2);
+        let a = pkt(&mut f);
+        q.push(a);
+        assert_eq!(q.peek().unwrap().id, a.id);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_drop_fraction_is_zero() {
+        let q = NicQueue::new(1);
+        assert_eq!(q.drop_fraction(), 0.0);
+        assert!(q.is_empty());
+    }
+}

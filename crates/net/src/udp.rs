@@ -1,0 +1,94 @@
+//! UDP stream accounting.
+//!
+//! UDP has no flow control: the sender pushes datagrams as fast as its CPU
+//! allows ("consecutive high I/O load", §VI-B) and the receiver counts what
+//! survives the bounded queues. Goodput = received / elapsed.
+
+/// Sender/receiver counters for a unidirectional UDP stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdpStream {
+    sent: u64,
+    received: u64,
+    payload_bytes: u32,
+}
+
+impl UdpStream {
+    /// A stream of datagrams carrying `payload_bytes` each.
+    pub fn new(payload_bytes: u32) -> Self {
+        UdpStream {
+            sent: 0,
+            received: 0,
+            payload_bytes,
+        }
+    }
+
+    /// Datagram payload size.
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload_bytes
+    }
+
+    /// Record a transmitted datagram.
+    pub fn on_sent(&mut self) {
+        self.sent += 1;
+    }
+
+    /// Record a delivered datagram.
+    pub fn on_received(&mut self) {
+        self.received += 1;
+    }
+
+    /// Datagrams sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Datagrams delivered end-to-end.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Datagrams lost in bounded queues.
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.received)
+    }
+
+    /// Delivered payload throughput in Gb/s over `secs` seconds.
+    pub fn goodput_gbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.received as f64 * self.payload_bytes as f64 * 8.0 / secs / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_loss() {
+        let mut s = UdpStream::new(1024);
+        for _ in 0..10 {
+            s.on_sent();
+        }
+        for _ in 0..7 {
+            s.on_received();
+        }
+        assert_eq!(s.sent(), 10);
+        assert_eq!(s.received(), 7);
+        assert_eq!(s.lost(), 3);
+    }
+
+    #[test]
+    fn goodput() {
+        let mut s = UdpStream::new(1250); // 10 kbit per datagram
+        for _ in 0..1000 {
+            s.on_sent();
+            s.on_received();
+        }
+        // 10 Mbit in 1 s = 0.01 Gb/s.
+        assert!((s.goodput_gbps(1.0) - 0.01).abs() < 1e-12);
+        assert_eq!(s.goodput_gbps(0.0), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! A serializing point-to-point link.
+//!
+//! Models the back-to-back 40 GbE cable: each transmitted frame occupies the
+//! link for its serialization time (`bytes * 8 / bandwidth`), frames queue
+//! FIFO behind one another, and arrival at the far end adds a fixed
+//! propagation delay. At 40 Gb/s a 1500-byte frame serializes in 300 ns, so
+//! the link is never the bottleneck in these experiments — exactly as in the
+//! paper, where the event path is.
+
+use es2_sim::{SimDuration, SimTime};
+
+/// One direction of a point-to-point link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    bits_per_sec: u64,
+    propagation: SimDuration,
+    /// When the transmitter becomes free.
+    next_free: SimTime,
+    tx_packets: u64,
+    tx_bytes: u64,
+}
+
+impl Link {
+    /// A link with the given bandwidth and propagation delay.
+    pub fn new(bits_per_sec: u64, propagation: SimDuration) -> Self {
+        assert!(bits_per_sec > 0);
+        Link {
+            bits_per_sec,
+            propagation,
+            next_free: SimTime::ZERO,
+            tx_packets: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    /// A 40 GbE link with 1 µs propagation (back-to-back DAC cable + PHY).
+    pub fn forty_gbe() -> Self {
+        Link::new(40_000_000_000, SimDuration::from_micros(1))
+    }
+
+    /// Serialization time for a frame of `bytes`.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bits_per_sec,
+        )
+    }
+
+    /// Transmit a frame at `now`; returns its arrival time at the far end.
+    ///
+    /// If the transmitter is busy the frame queues behind earlier ones.
+    pub fn transmit(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
+        let done = start + self.serialization(bytes);
+        self.next_free = done;
+        self.tx_packets += 1;
+        self.tx_bytes += bytes as u64;
+        done + self.propagation
+    }
+
+    /// Current queueing delay a new frame would see.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.saturating_since(now)
+    }
+
+    /// Frames transmitted.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Bytes transmitted.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Achieved throughput over an elapsed span, in Gb/s.
+    pub fn throughput_gbps(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.tx_bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn serialization_time_40gbe() {
+        let l = Link::forty_gbe();
+        // 1500 B = 12000 bits at 40Gbps = 300 ns.
+        assert_eq!(l.serialization(1500), SimDuration::from_nanos(300));
+    }
+
+    #[test]
+    fn idle_link_delivers_after_serialization_plus_propagation() {
+        let mut l = Link::forty_gbe();
+        let arrive = l.transmit(t(0), 1500);
+        assert_eq!(arrive, t(300 + 1000));
+    }
+
+    #[test]
+    fn busy_link_queues_fifo() {
+        let mut l = Link::forty_gbe();
+        let a = l.transmit(t(0), 1500);
+        let b = l.transmit(t(0), 1500);
+        assert_eq!(
+            b.since(a),
+            SimDuration::from_nanos(300),
+            "b serializes after a"
+        );
+        assert_eq!(l.backlog(t(0)), SimDuration::from_nanos(600));
+    }
+
+    #[test]
+    fn link_goes_idle_between_sparse_frames() {
+        let mut l = Link::forty_gbe();
+        l.transmit(t(0), 1500);
+        let late = l.transmit(t(10_000), 1500);
+        assert_eq!(late, t(10_000 + 300 + 1000));
+    }
+
+    #[test]
+    fn counters_and_throughput() {
+        let mut l = Link::forty_gbe();
+        for _ in 0..1000 {
+            l.transmit(t(0), 1250);
+        }
+        assert_eq!(l.tx_packets(), 1000);
+        assert_eq!(l.tx_bytes(), 1_250_000);
+        // 1.25MB in 1ms = 10 Gb/s.
+        let g = l.throughput_gbps(SimDuration::from_millis(1));
+        assert!((g - 10.0).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn arrival_order_matches_send_order() {
+        let mut l = Link::forty_gbe();
+        let mut prev = SimTime::ZERO;
+        for i in 0..50 {
+            let a = l.transmit(t(i * 10), 64 + i as u32);
+            assert!(a > prev, "FIFO arrival order");
+            prev = a;
+        }
+    }
+}

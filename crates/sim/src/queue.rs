@@ -1,0 +1,205 @@
+//! The timed event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that (a) orders by [`SimTime`], (b)
+//! breaks ties by insertion order so simulations are deterministic, and (c)
+//! refuses (in debug builds) to schedule into the past.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic priority queue of `(SimTime, E)` events.
+///
+/// Events scheduled for the same instant pop in the order they were pushed.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `ev` at absolute instant `at`.
+    ///
+    /// Debug builds panic if `at` is before the last popped instant — a
+    /// causality violation that would silently corrupt a release run.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, ev: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Remove and return the earliest event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.last_popped = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The instant of the most recently popped event (the queue's notion of
+    /// "now").
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Total number of events ever pushed (diagnostics).
+    #[inline]
+    pub fn pushed_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(t(7), ());
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(t(3), ());
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn rejects_past_scheduling_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(t(10), ());
+        q.pop();
+        q.push(t(5), ());
+    }
+
+    proptest! {
+        /// Whatever the push order, pops are sorted by time and ties keep
+        /// push order.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &us) in times.iter().enumerate() {
+                q.push(t(us), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().cloned().zip(0..).collect();
+            expected.sort_by_key(|&(us, i)| (us, i));
+            let got: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+                .map(|(at, i)| ((at - SimTime::ZERO).as_nanos() / 1000, i))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

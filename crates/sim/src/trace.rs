@@ -1,0 +1,155 @@
+//! A cheap ring-buffer event tracer.
+//!
+//! Tracing is a debugging aid for simulation logic: components record
+//! `(time, tag, a, b)` tuples into a fixed-size ring; when an invariant trips
+//! you dump the last N records. Recording is two stores and an index bump —
+//! cheap enough to leave enabled in tests — and the whole tracer can be
+//! disabled (the default), making `record` a no-op branch.
+
+use crate::time::SimTime;
+
+/// One trace record: an instant, a static tag, and two free-form operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was made.
+    pub at: SimTime,
+    /// A static label, e.g. `"vmexit"`, `"sched_in"`.
+    pub tag: &'static str,
+    /// First operand (component-defined meaning).
+    pub a: u64,
+    /// Second operand (component-defined meaning).
+    pub b: u64,
+}
+
+/// A fixed-capacity ring buffer of [`TraceRecord`]s.
+pub struct Tracer {
+    buf: Vec<TraceRecord>,
+    head: usize,
+    len: usize,
+    enabled: bool,
+    recorded_total: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer with the given capacity (rounded up to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            buf: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            len: 0,
+            enabled: false,
+            recorded_total: 0,
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op while disabled).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, tag: &'static str, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.recorded_total += 1;
+        let rec = TraceRecord { at, tag, a, b };
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(rec);
+            self.len = self.buf.len();
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % cap;
+        }
+    }
+
+    /// Records in chronological order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let cap = self.buf.len();
+        let start = if self.len == cap { self.head } else { 0 };
+        (0..self.len).map(move |i| &self.buf[(start + i) % cap.max(1)])
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total records ever made while enabled (including overwritten ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded_total
+    }
+
+    /// Render the retained records, one per line.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for r in self.iter() {
+            s.push_str(&format!("{:?} {} a={} b={}\n", r.at, r.tag, r.a, r.b));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::new(4);
+        tr.record(t(1), "x", 0, 0);
+        assert!(tr.is_empty());
+        assert_eq!(tr.recorded_total(), 0);
+    }
+
+    #[test]
+    fn records_in_order_until_full() {
+        let mut tr = Tracer::new(4);
+        tr.set_enabled(true);
+        for i in 0..3 {
+            tr.record(t(i), "e", i, 0);
+        }
+        let tags: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn wraps_and_keeps_most_recent() {
+        let mut tr = Tracer::new(4);
+        tr.set_enabled(true);
+        for i in 0..10 {
+            tr.record(t(i), "e", i, 0);
+        }
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(tr.recorded_total(), 10);
+    }
+
+    #[test]
+    fn dump_contains_tags() {
+        let mut tr = Tracer::new(2);
+        tr.set_enabled(true);
+        tr.record(t(5), "vmexit", 1, 2);
+        let s = tr.dump();
+        assert!(s.contains("vmexit"), "{s}");
+        assert!(s.contains("a=1"), "{s}");
+    }
+}

@@ -1,0 +1,430 @@
+//! One runner per table/figure of the paper's evaluation (§VI).
+//!
+//! Each function is deterministic in its seed and returns the measured
+//! series; the `es2-bench` crate renders them next to the paper's numbers.
+
+use es2_core::{EventPathConfig, HybridParams};
+use es2_workloads::NetperfSpec;
+
+use crate::machine::{Machine, Topology};
+use crate::params::Params;
+use crate::results::RunResult;
+use crate::workload::WorkloadSpec;
+
+/// Run one configuration of one workload on a topology.
+pub fn run_one(
+    cfg: EventPathConfig,
+    topo: Topology,
+    spec: WorkloadSpec,
+    params: Params,
+    seed: u64,
+) -> RunResult {
+    Machine::new(cfg, topo, spec, params, seed).run()
+}
+
+/// Table I: VM-exit cause breakdown for 1-vCPU TCP send, Baseline vs PI.
+pub fn table1(params: Params, seed: u64) -> Vec<RunResult> {
+    let spec = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+    [EventPathConfig::baseline(), EventPathConfig::pi()]
+        .into_iter()
+        .map(|cfg| run_one(cfg, Topology::micro(), spec, params, seed))
+        .collect()
+}
+
+/// One Fig. 4 point: I/O-instruction exit rate under PI+H with a quota.
+pub fn fig4_point(
+    proto_udp: bool,
+    msg_bytes: u32,
+    quota: u32,
+    params: Params,
+    seed: u64,
+) -> RunResult {
+    let np = if proto_udp {
+        NetperfSpec::udp_send(msg_bytes)
+    } else {
+        NetperfSpec::tcp_send(msg_bytes)
+    };
+    run_one(
+        EventPathConfig::pi_h(quota),
+        Topology::micro(),
+        WorkloadSpec::Netperf(np),
+        params,
+        seed,
+    )
+}
+
+/// Fig. 4: quota sweep (plus the baseline reference point).
+pub fn fig4(
+    proto_udp: bool,
+    msg_bytes: u32,
+    params: Params,
+    seed: u64,
+) -> Vec<(String, RunResult)> {
+    let np = if proto_udp {
+        NetperfSpec::udp_send(msg_bytes)
+    } else {
+        NetperfSpec::tcp_send(msg_bytes)
+    };
+    let mut out = Vec::new();
+    out.push((
+        "baseline".to_string(),
+        run_one(
+            EventPathConfig::baseline(),
+            Topology::micro(),
+            WorkloadSpec::Netperf(np),
+            params,
+            seed,
+        ),
+    ));
+    for quota in [64u32, 32, 16, 8, 4, 2] {
+        out.push((
+            format!("quota={quota}"),
+            fig4_point(proto_udp, msg_bytes, quota, params, seed),
+        ));
+    }
+    out
+}
+
+/// Fig. 5: exit breakdown + TIG for send/receive TCP/UDP under
+/// Baseline / PI / PI+H.
+pub fn fig5(send: bool, udp: bool, params: Params, seed: u64) -> Vec<RunResult> {
+    let quota = if udp {
+        HybridParams::UDP_QUOTA
+    } else {
+        HybridParams::TCP_QUOTA
+    };
+    let np = match (send, udp) {
+        (true, false) => NetperfSpec::tcp_send(1024),
+        (true, true) => NetperfSpec::udp_send(1024),
+        (false, false) => NetperfSpec::tcp_receive(1024),
+        (false, true) => NetperfSpec::udp_receive(1024),
+    };
+    [
+        EventPathConfig::baseline(),
+        EventPathConfig::pi(),
+        EventPathConfig::pi_h(quota),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        run_one(
+            cfg,
+            Topology::micro(),
+            WorkloadSpec::Netperf(np),
+            params,
+            seed,
+        )
+    })
+    .collect()
+}
+
+/// The four configurations at the paper's TCP quota, multiplexed topology.
+fn four_configs() -> [EventPathConfig; 4] {
+    EventPathConfig::all_four(HybridParams::TCP_QUOTA)
+}
+
+/// Fig. 6: netperf TCP throughput, multiplexed cores, packet-size sweep.
+pub fn fig6(send: bool, msg_bytes: u32, params: Params, seed: u64) -> Vec<RunResult> {
+    let np = if send {
+        NetperfSpec::tcp_send(msg_bytes).with_threads(4)
+    } else {
+        NetperfSpec::tcp_receive(msg_bytes)
+    };
+    four_configs()
+        .into_iter()
+        .map(|cfg| {
+            run_one(
+                cfg,
+                Topology::multiplexed(),
+                WorkloadSpec::Netperf(np),
+                params,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 7: ping RTT under core multiplexing (Baseline, PI, PI+H+R — the
+/// paper omits PI+H as polling has no effect on low-rate ping).
+pub fn fig7(params: Params, seed: u64) -> Vec<RunResult> {
+    [
+        EventPathConfig::baseline(),
+        EventPathConfig::pi(),
+        EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        run_one(
+            cfg,
+            Topology::multiplexed(),
+            WorkloadSpec::Ping,
+            params,
+            seed,
+        )
+    })
+    .collect()
+}
+
+/// Fig. 8a: Memcached throughput, four configurations.
+pub fn fig8_memcached(params: Params, seed: u64) -> Vec<RunResult> {
+    four_configs()
+        .into_iter()
+        .map(|cfg| {
+            run_one(
+                cfg,
+                Topology::multiplexed(),
+                WorkloadSpec::Memcached,
+                params,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 8b: Apache throughput, four configurations.
+pub fn fig8_apache(params: Params, seed: u64) -> Vec<RunResult> {
+    four_configs()
+        .into_iter()
+        .map(|cfg| {
+            run_one(
+                cfg,
+                Topology::multiplexed(),
+                WorkloadSpec::Apache,
+                params,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 9: httperf mean connection time vs request rate, four
+/// configurations.
+pub fn fig9(rates: &[f64], params: Params, seed: u64) -> Vec<(f64, Vec<RunResult>)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let runs = four_configs()
+                .into_iter()
+                .map(|cfg| {
+                    run_one(
+                        cfg,
+                        Topology::multiplexed(),
+                        WorkloadSpec::Httperf { rate },
+                        params,
+                        seed,
+                    )
+                })
+                .collect();
+            (rate, runs)
+        })
+        .collect()
+}
+
+/// §VII applicability: SR-IOV direct device assignment.
+///
+/// Three interrupt paths over the assigned-VF device model:
+/// * **legacy** — the hypervisor fields the VF's physical IRQ and injects
+///   a virtual interrupt through the emulated LAPIC (delivery + EOI exits
+///   remain, I/O-request exits are already gone — the inverse of
+///   paravirtual);
+/// * **VT-d PI** — interrupts posted straight to the guest, exit-less;
+/// * **VT-d PI + redirection** — ES2's intelligent redirection on top,
+///   removing the vCPU-scheduling latency.
+///
+/// Returns `(label, result)` for a micro exit-rate check (TCP send) and a
+/// multiplexed ping latency check.
+pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResult)> {
+    let mut p = params;
+    p.device = crate::params::DeviceKind::AssignedVf;
+    let send = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+    [
+        ("SR-IOV legacy", EventPathConfig::baseline()),
+        ("SR-IOV + VT-d PI", EventPathConfig::pi()),
+        (
+            "SR-IOV + VT-d PI + R",
+            EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, cfg)| {
+        let micro = run_one(cfg, Topology::micro(), send, p, seed);
+        let mut ping_p = p;
+        ping_p.measure = ping_p.measure.max(es2_sim::SimDuration::from_secs(8));
+        let ping = run_one(
+            cfg,
+            Topology::multiplexed(),
+            WorkloadSpec::Ping,
+            ping_p,
+            seed,
+        );
+        (label, micro, ping)
+    })
+    .collect()
+}
+
+/// Ablation: redirection target-selection policies under the ping
+/// latency workload (full ES2 otherwise). Returns `(label, result)` rows.
+pub fn ablation_target_policy(params: Params, seed: u64) -> Vec<(&'static str, RunResult)> {
+    use es2_core::{OfflinePolicy, TargetPolicy};
+    let policies = [
+        (
+            "least-loaded+sticky (paper)",
+            TargetPolicy::LeastLoadedSticky,
+        ),
+        ("least-loaded, no sticky", TargetPolicy::LeastLoadedNoSticky),
+        ("random online", TargetPolicy::Random),
+        ("first online", TargetPolicy::FirstOnline),
+    ];
+    policies
+        .into_iter()
+        .map(|(label, tp)| {
+            let mut p = params;
+            p.redirect_policies = Some((tp, OfflinePolicy::Head));
+            (
+                label,
+                run_one(
+                    EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+                    Topology::multiplexed(),
+                    WorkloadSpec::Ping,
+                    p,
+                    seed,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Ablation: offline-list prediction policies (what to do when the whole
+/// VM is descheduled).
+pub fn ablation_offline_policy(params: Params, seed: u64) -> Vec<(&'static str, RunResult)> {
+    use es2_core::{OfflinePolicy, TargetPolicy};
+    let policies = [
+        ("head: longest offline (paper)", OfflinePolicy::Head),
+        ("tail: most recently offline", OfflinePolicy::Tail),
+        ("keep affinity", OfflinePolicy::KeepAffinity),
+    ];
+    policies
+        .into_iter()
+        .map(|(label, op)| {
+            let mut p = params;
+            p.redirect_policies = Some((TargetPolicy::LeastLoadedSticky, op));
+            (
+                label,
+                run_one(
+                    EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+                    Topology::multiplexed(),
+                    WorkloadSpec::Ping,
+                    p,
+                    seed,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Ablation: quota sensitivity for the macro Memcached workload (the
+/// DESIGN.md "quota beyond Fig. 4" item).
+pub fn ablation_mc_quota(params: Params, seed: u64, quotas: &[u32]) -> Vec<(u32, RunResult)> {
+    quotas
+        .iter()
+        .map(|&q| {
+            (
+                q,
+                run_one(
+                    EventPathConfig::pi_h_r(q),
+                    Topology::multiplexed(),
+                    WorkloadSpec::Memcached,
+                    params,
+                    seed,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The vCPU-stacking statistic motivating §IV-C: fraction of ping probes
+/// that found no tested-VM vCPU online (the offline-prediction rate).
+pub fn stacking_probability(params: Params, seed: u64) -> f64 {
+    stacking_probability_on(Topology::multiplexed(), params, seed)
+}
+
+/// Same statistic on an arbitrary topology. §IV-C cites [Sukwong & Kim,
+/// EuroSys'11]: with **two four-vCPU VMs on a four-core host** the
+/// probability of vCPU stacking exceeds 40 % — reproducible here with
+/// `Topology { num_vms: 2, vcpus_per_vm: 4 }` (note the statistic measured
+/// is the complementary all-offline fraction seen by interrupts, which
+/// rises with the number of co-located VMs).
+pub fn stacking_probability_on(topo: Topology, params: Params, seed: u64) -> f64 {
+    let r = run_one(
+        EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+        topo,
+        WorkloadSpec::Ping,
+        params,
+        seed,
+    );
+    let total = r.redirections + r.offline_predictions;
+    if total == 0 {
+        0.0
+    } else {
+        r.offline_predictions as f64 / total as f64
+    }
+}
+
+/// Sweep the all-offline probability over VM counts (1, 2, 3, 4 co-located
+/// four-vCPU VMs on four cores) — the denser the stacking, the more often
+/// the offline-list prediction is what saves an interrupt's latency.
+pub fn stacking_sweep(params: Params, seed: u64) -> Vec<(u32, f64)> {
+    (1..=4)
+        .map(|n| {
+            let topo = Topology {
+                num_vms: n,
+                vcpus_per_vm: 4,
+            };
+            (n, stacking_probability_on(topo, params, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Params {
+        Params::fast_test()
+    }
+
+    #[test]
+    fn smoke_baseline_tcp_send_runs() {
+        let r = run_one(
+            EventPathConfig::baseline(),
+            Topology::micro(),
+            WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+            fast(),
+            1,
+        );
+        assert!(r.goodput_gbps > 0.0, "some traffic flowed: {r:?}");
+        assert!(r.total_exit_rate() > 1_000.0, "baseline exits: {r:?}");
+        assert!(r.tig_percent > 10.0 && r.tig_percent < 100.0);
+    }
+
+    #[test]
+    fn smoke_full_es2_tcp_send_runs() {
+        let r = run_one(
+            EventPathConfig::pi_h_r(4),
+            Topology::micro(),
+            WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+            fast(),
+            1,
+        );
+        assert!(r.goodput_gbps > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let spec = WorkloadSpec::Netperf(NetperfSpec::udp_send(256));
+        let a = run_one(EventPathConfig::pi(), Topology::micro(), spec, fast(), 7);
+        let b = run_one(EventPathConfig::pi(), Topology::micro(), spec, fast(), 7);
+        assert_eq!(a.goodput_gbps, b.goodput_gbps);
+        assert_eq!(a.kicks_total, b.kicks_total);
+        assert_eq!(a.exits.windowed_total(), b.exits.windowed_total());
+    }
+}

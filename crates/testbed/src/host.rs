@@ -1,0 +1,182 @@
+//! Host-side execution: the vhost worker thread.
+//!
+//! The worker alternates between handler turns. The TX handler runs the
+//! hybrid (or stock) Algorithm-1 machine over the guest's TX queue; the RX
+//! handler moves ingress packets from the host backlog into the guest's RX
+//! ring. Each per-packet step is a timed segment, and the per-turn
+//! dispatch overhead is what makes small-quota polling self-sustaining
+//! (the guest refills during the dispatch gap).
+
+use es2_core::PollDecision;
+use es2_net::Packet;
+use es2_sched::ThreadId;
+use es2_virtio::HandlerId;
+
+use crate::machine::{Body, Ev, Machine, SegKind};
+
+impl Machine {
+    /// The vhost thread finished a segment (or was just scheduled) and has
+    /// no active work: pop the next handler or sleep.
+    pub(crate) fn vhost_continue(&mut self, tid: ThreadId) {
+        let Body::Vhost { vm } = self.threads[tid.idx()].body else {
+            unreachable!("vhost_continue on a vCPU thread");
+        };
+        let vmi = vm as usize;
+        self.vms[vmi].cur_handler = None;
+        match self.vms[vmi].worker.next_work() {
+            Some(h) => {
+                self.start_segment(tid, SegKind::VhostDispatch { h }, self.p.vhost_dispatch);
+            }
+            None => {
+                let sw = self.sched.block(tid, self.now);
+                self.apply_switch(sw);
+            }
+        }
+    }
+
+    /// Dispatch overhead done: begin the handler's turn.
+    pub(crate) fn vhost_begin_turn(&mut self, vm: u32, h: HandlerId) {
+        let vmi = vm as usize;
+        self.vms[vmi].cur_handler = Some(h);
+        if h == self.vms[vmi].tx_h {
+            let vmst = &mut self.vms[vmi];
+            vmst.tx_handler.begin_turn(&mut vmst.tx);
+            self.vhost_tx_step(vm);
+        } else {
+            self.vms[vmi].rx_turn = 0;
+            self.vhost_rx_step(vm);
+        }
+    }
+
+    /// One step of the TX handler's polling loop (Algorithm 1 lines
+    /// 12–19, with time charged per request).
+    fn vhost_tx_step(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let tid = self.vms[vmi].vhost_tid;
+        let vmst = &mut self.vms[vmi];
+        match vmst.tx_handler.poll_next(&mut vmst.tx) {
+            PollDecision::Process(pkt) => {
+                let cost = self.p.vhost_tx_cost(pkt.bytes);
+                self.start_segment(tid, SegKind::VhostTxPkt { pkt }, cost);
+            }
+            PollDecision::QuotaExhausted => {
+                // Stay in polling mode: the handler waits out its
+                // switching cooldown (Algorithm 1 line 16 "waiting to be
+                // scheduled") and re-enters the work list; the worker
+                // meanwhile serves other handlers or sleeps.
+                let h = vmst.tx_h;
+                let at = self.now + self.p.vhost_requeue_gap;
+                self.q
+                    .push(at, crate::machine::Ev::HandlerRequeue { vm, h });
+                self.vhost_continue(tid);
+            }
+            PollDecision::Drained => {
+                // Notification re-enabled (back to notification mode for
+                // the hybrid handler; stock vhost does this every turn).
+                self.vhost_continue(tid);
+            }
+        }
+    }
+
+    /// A TX packet finished host processing: hand it to the wire and
+    /// return its descriptor.
+    pub(crate) fn complete_vhost_tx(&mut self, vm: u32, pkt: Packet) {
+        let vmi = vm as usize;
+        // Return the descriptor; raise a TX-completion interrupt only if
+        // the guest armed it (ring-full backpressure).
+        let interrupt = self.vms[vmi].tx.device_push_used(pkt);
+        if interrupt {
+            let vector = self.vms[vmi].tx_vector;
+            self.deliver_device_msi(vm, vector);
+        }
+        let arrival = self.link_to_ext.transmit(self.now, pkt.bytes);
+        self.q.push(arrival, Ev::ArriveAtExt { vm, pkt });
+        self.vhost_tx_step(vm);
+    }
+
+    /// One step of the RX handler: move a backlog packet into the guest
+    /// RX ring.
+    fn vhost_rx_step(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let tid = self.vms[vmi].vhost_tid;
+        if self.vms[vmi].rx_turn >= self.p.vhost_rx_burst {
+            // Batch quota: requeue immediately (stock vhost behaviour —
+            // no ES2 cooldown on the rx batching path).
+            let h = self.vms[vmi].rx_h;
+            self.vms[vmi].worker.queue_work(h);
+            self.vhost_continue(tid);
+            return;
+        }
+        if self.vms[vmi].backlog.is_empty() {
+            self.vhost_continue(tid);
+            return;
+        }
+        if self.vms[vmi].rx.avail_pending() == 0 {
+            // Out of guest buffers: arm the refill notification and park.
+            // The guest's next refill kick requeues this handler.
+            if self.vms[vmi].rx.device_enable_notify() {
+                // Race: buffers appeared; keep going.
+                self.vms[vmi].rx.device_disable_notify();
+            } else {
+                self.vhost_continue(tid);
+                return;
+            }
+        }
+        let _buffer = self.vms[vmi].rx.device_pop().expect("buffer available");
+        let pkt = self.vms[vmi].backlog.pop().expect("backlog non-empty");
+        let cost = self.p.vhost_rx_cost(pkt.bytes);
+        self.start_segment(tid, SegKind::VhostRxPkt { pkt }, cost);
+    }
+
+    /// An RX packet was copied into the guest: publish it and maybe
+    /// interrupt.
+    pub(crate) fn complete_vhost_rx(&mut self, vm: u32, pkt: Packet) {
+        let vmi = vm as usize;
+        self.vms[vmi].rx_turn += 1;
+        let interrupt = self.vms[vmi].rx.device_push_used(pkt);
+        if interrupt {
+            let vector = self.vms[vmi].rx_vector;
+            self.deliver_device_msi(vm, vector);
+        }
+        self.vhost_rx_step(vm);
+    }
+
+    /// A packet arrived at the host NIC for `vm`.
+    ///
+    /// Paravirtual: backlog it and kick the vhost RX handler. Assigned VF:
+    /// the device DMAs straight into the guest's RX ring and raises its
+    /// interrupt — through the host ISR (legacy) or posted directly
+    /// (VT-d PI), per §VII.
+    pub(crate) fn on_arrive_host(&mut self, vm: u32, pkt: Packet) {
+        let vmi = vm as usize;
+        if self.p.device == crate::params::DeviceKind::AssignedVf {
+            if self.vms[vmi].rx.device_pop().is_none() {
+                // VF RX ring out of buffers: hardware drop.
+                self.vms[vmi].vf_drops += 1;
+                return;
+            }
+            let interrupt = self.vms[vmi].rx.device_push_used(pkt);
+            if interrupt {
+                if self.cfg.use_pi {
+                    // VT-d PI: posted without hypervisor involvement.
+                    let vector = self.vms[vmi].rx_vector;
+                    self.deliver_device_msi(vm, vector);
+                } else {
+                    // Legacy assignment: the host fields the physical IRQ
+                    // first, then injects.
+                    self.q
+                        .push(self.now + self.p.sriov_host_isr, Ev::VfIrq { vm });
+                }
+            }
+            return;
+        }
+        if self.vms[vmi].backlog.push(pkt) {
+            let h = self.vms[vmi].rx_h;
+            self.vms[vmi].worker.queue_work(h);
+            let tid = self.vms[vmi].vhost_tid;
+            self.wake_thread(tid);
+        }
+        // else: tail-dropped (counted by the NicQueue) — where UDP receive
+        // overload loses datagrams.
+    }
+}

@@ -1,0 +1,1091 @@
+//! The simulated testbed machine: event loop, scheduling glue, VM exits.
+//!
+//! One [`Machine`] is the full §VI-A testbed: an 8-core host running
+//! `num_vms` VMs (each with its vCPU threads and a vhost worker thread
+//! under the CFS model), a back-to-back 40 GbE link, and the external
+//! traffic-generator server. A run is a pure function of
+//! `(config, topology, workload, params, seed)`.
+//!
+//! Execution model: every host thread executes a sequence of **segments**
+//! (typed spans of work). Segment completions, timer ticks, IPIs and wire
+//! arrivals are the events. Preempted segments save their remaining time
+//! and resume later (lazy invalidation via generation tokens). vCPU
+//! segments are either *guest mode* (app work, interrupt handlers, burn
+//! loops) or *root mode* (VM-exit handling), and the transitions between
+//! the two are exactly the paper's event-path operations.
+
+use es2_apic::vectors::LOCAL_TIMER_VECTOR;
+use es2_apic::Vector;
+use es2_core::{Es2Router, EventPathConfig, HybridHandler, RedirectionEngine};
+use es2_hypervisor::{
+    AffinityRouter, DeliveryOutcome, ExitReason, InterruptPath, MsiRouter, RouteCtx, Vcpu, VcpuId,
+    VmId,
+};
+use es2_net::{Link, NicQueue, Packet, PacketFactory};
+use es2_sched::{CfsScheduler, CoreId, Switch, ThreadId};
+use es2_sim::{EventQueue, GenToken, SimDuration, SimRng, SimTime};
+use es2_virtio::{HandlerId, VhostWorker, Virtqueue, VirtqueueConfig};
+
+use crate::params::Params;
+use crate::results::RunResult;
+use crate::workload::{AppRequest, GuestWl, WorkloadSpec};
+
+/// Placement of VMs onto the host.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    /// Number of VMs.
+    pub num_vms: u32,
+    /// vCPUs per VM. vCPU `j` of every VM is pinned to core `j`, so VMs
+    /// *time-share* the first `vcpus_per_vm` cores (the paper's §VI-D
+    /// setup); vhost workers run on the remaining cores.
+    pub vcpus_per_vm: u32,
+}
+
+impl Topology {
+    /// The 1-vCPU micro-benchmark setup (§VI-B/C): one VM, one vCPU.
+    pub fn micro() -> Self {
+        Topology {
+            num_vms: 1,
+            vcpus_per_vm: 1,
+        }
+    }
+
+    /// The multiplexed setup (§VI-D/E): "four VMs were created to
+    /// time-share four physical cores", 4 vCPUs each.
+    pub fn multiplexed() -> Self {
+        Topology {
+            num_vms: 4,
+            vcpus_per_vm: 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal types
+// ---------------------------------------------------------------------
+
+/// Role of a host thread.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Body {
+    /// A vCPU thread.
+    Vcpu { vm: u32, idx: u32 },
+    /// A vhost worker thread.
+    Vhost { vm: u32 },
+}
+
+/// A span of typed work with its remaining duration.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Segment {
+    pub(crate) kind: SegKind,
+    pub(crate) remaining: SimDuration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SegKind {
+    /// Guest CPU-burn script (lowest-priority guest work).
+    Burn,
+    /// Guest application work.
+    App(AppStep),
+    /// Guest interrupt handler.
+    Irq(IrqKind),
+    /// Hardware posted-interrupt notification processing (guest mode).
+    PiSync,
+    /// Root-mode VM-exit handling.
+    Exit {
+        /// Retained for tracing/debug dumps.
+        #[allow(dead_code)]
+        reason: ExitReason,
+        then: AfterExit,
+    },
+    /// vhost worker: handler dispatch overhead.
+    VhostDispatch { h: HandlerId },
+    /// vhost worker: transmit one packet.
+    VhostTxPkt { pkt: Packet },
+    /// vhost worker: receive one packet into the guest.
+    VhostRxPkt { pkt: Packet },
+}
+
+/// Guest application step.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum AppStep {
+    /// Produce `count` TCP messages on a flow (`segs` segments each).
+    /// `count > 1` models softirq/socket batching bursts.
+    TcpMsg {
+        flow: u32,
+        segs: u32,
+        payload: u32,
+        count: u32,
+    },
+    /// Produce `count` UDP datagrams.
+    UdpMsg { segs: u32, payload: u32, count: u32 },
+    /// Serve one application request.
+    Serve { req: AppRequest },
+}
+
+/// Guest interrupt-handler kinds.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum IrqKind {
+    /// NAPI receive poll of `batch` packets.
+    Rx { vector: Vector, batch: u32 },
+    /// TX-completion cleanup.
+    TxClean,
+    /// Guest local-timer handler.
+    Timer,
+}
+
+/// What to do when a root-mode exit segment finishes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum AfterExit {
+    /// Plain re-entry (kick and external-interrupt exits; any injection
+    /// happens at entry).
+    Resume,
+    /// EOI emulation, then re-entry.
+    Eoi,
+}
+
+pub(crate) struct ThreadInfo {
+    pub(crate) body: Body,
+    /// Active (if running) or saved (if preempted) segment.
+    pub(crate) seg: Option<Segment>,
+    pub(crate) seg_started: SimTime,
+    pub(crate) gen: GenToken,
+}
+
+/// Per-vCPU guest-context bookkeeping.
+#[derive(Default)]
+pub(crate) struct VcpuCtx {
+    /// Segments interrupted by IRQs, to resume after EOI (a stack: higher
+    /// priority classes can nest).
+    pub(crate) stack: Vec<Segment>,
+    /// Virtqueue kicks that became due during IRQ context, performed
+    /// (one I/O-instruction exit each) after EOI. Distinct queues can
+    /// both require kicks in one NAPI pass (ACK send + RX refill).
+    pub(crate) pending_kicks: Vec<HandlerId>,
+    /// The last VM exit left caches cold; the next application step pays
+    /// the refill penalty.
+    pub(crate) cache_cold: bool,
+}
+
+pub(crate) struct VmState {
+    pub(crate) vcpus: Vec<Vcpu>,
+    pub(crate) vcpu_tids: Vec<ThreadId>,
+    pub(crate) vctx: Vec<VcpuCtx>,
+    pub(crate) vhost_tid: ThreadId,
+    pub(crate) worker: VhostWorker,
+    pub(crate) tx_h: HandlerId,
+    pub(crate) rx_h: HandlerId,
+    pub(crate) cur_handler: Option<HandlerId>,
+    pub(crate) tx: Virtqueue<Packet>,
+    pub(crate) rx: Virtqueue<Packet>,
+    pub(crate) tx_handler: HybridHandler,
+    pub(crate) rx_turn: u32,
+    pub(crate) backlog: NicQueue,
+    pub(crate) tx_vector: Vector,
+    pub(crate) rx_vector: Vector,
+    pub(crate) affinity_vcpu: u32,
+    pub(crate) blocked_tx_full: bool,
+    /// Guest HLTs when idle (server workloads) instead of running the
+    /// burn script.
+    pub(crate) guest_idles: bool,
+    pub(crate) wl: GuestWl,
+    /// TX enqueues dropped on a full ring from IRQ context.
+    pub(crate) dropped_tx: u64,
+    /// Frames dropped by an out-of-buffers assigned VF RX ring.
+    pub(crate) vf_drops: u64,
+    /// Device interrupts delivered to an *offline* vCPU via the
+    /// offline-list prediction, still awaiting that vCPU; if a sibling
+    /// comes online first, ES2 migrates them ("keep searching ... and
+    /// redirecting", §IV-C).
+    pub(crate) parked_irqs: Vec<(u32, Vector)>,
+    /// Diagnostics: interrupts parked on offline vCPUs / later migrated.
+    pub(crate) parked_count: u64,
+    pub(crate) migrated_count: u64,
+    /// One-way latency from packet creation to guest NAPI consumption.
+    pub(crate) rx_latency: es2_metrics::Summary,
+}
+
+/// Events of the discrete-event loop.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Ev {
+    Tick(CoreId),
+    SegDone {
+        tid: ThreadId,
+        gen: u64,
+    },
+    GuestTimer {
+        vm: u32,
+        vcpu: u32,
+    },
+    KickIpi {
+        vm: u32,
+        vcpu: u32,
+    },
+    PiNotifyIpi {
+        vm: u32,
+        vcpu: u32,
+    },
+    ArriveAtExt {
+        vm: u32,
+        pkt: Packet,
+    },
+    ArriveAtHost {
+        vm: u32,
+        pkt: Packet,
+    },
+    ExtSend {
+        vm: u32,
+    },
+    AckFlush {
+        vm: u32,
+    },
+    /// A quota-exhausted handler's switching cooldown elapsed: requeue it.
+    HandlerRequeue {
+        vm: u32,
+        h: HandlerId,
+    },
+    /// Periodic RTO check for an external TCP source.
+    ExtTcpTimeout {
+        vm: u32,
+    },
+    /// Legacy assigned-device interrupt: the host ISR finished converting
+    /// the physical IRQ and now injects the virtual interrupt.
+    VfIrq {
+        vm: u32,
+    },
+    OpenWindow,
+    CloseWindow,
+}
+
+/// The full simulated testbed.
+pub struct Machine {
+    pub(crate) p: Params,
+    pub(crate) cfg: EventPathConfig,
+    pub(crate) topo: Topology,
+    pub(crate) specs: Vec<WorkloadSpec>,
+    pub(crate) now: SimTime,
+    pub(crate) q: EventQueue<Ev>,
+    pub(crate) rng: SimRng,
+    pub(crate) sched: CfsScheduler,
+    pub(crate) threads: Vec<ThreadInfo>,
+    pub(crate) vms: Vec<VmState>,
+    pub(crate) ext: Vec<crate::workload::ExtWl>,
+    pub(crate) link_to_ext: Link,
+    pub(crate) link_to_host: Link,
+    pub(crate) pf: PacketFactory,
+    pub(crate) router: Option<Es2Router>,
+    pub(crate) window_open: bool,
+    pub(crate) end_time: SimTime,
+}
+
+impl Machine {
+    /// Build a testbed where VM 0 runs `spec` and the remaining VMs are
+    /// idle CPU hogs (the paper's background VMs).
+    pub fn new(
+        cfg: EventPathConfig,
+        topo: Topology,
+        spec: WorkloadSpec,
+        params: Params,
+        seed: u64,
+    ) -> Self {
+        let mut specs = vec![WorkloadSpec::Idle; topo.num_vms as usize];
+        specs[0] = spec;
+        Self::with_specs(cfg, topo, specs, params, seed)
+    }
+
+    /// Build a testbed with an explicit per-VM workload list.
+    pub fn with_specs(
+        cfg: EventPathConfig,
+        topo: Topology,
+        specs: Vec<WorkloadSpec>,
+        params: Params,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(specs.len(), topo.num_vms as usize);
+        assert!(
+            topo.vcpus_per_vm + topo.num_vms <= params.num_cores,
+            "not enough cores for vCPUs + vhost workers"
+        );
+        let mut rng = SimRng::new(seed);
+        let mut sched = CfsScheduler::new(params.num_cores as usize, params.sched);
+        let mut threads = Vec::new();
+        let mut vms = Vec::new();
+        let path = if cfg.use_pi {
+            InterruptPath::Posted
+        } else {
+            InterruptPath::Emulated
+        };
+
+        for vm in 0..topo.num_vms {
+            let mut vcpus = Vec::new();
+            let mut vcpu_tids = Vec::new();
+            let mut vctx = Vec::new();
+            for idx in 0..topo.vcpus_per_vm {
+                // vCPU j of every VM pinned to core j: VMs time-share.
+                let tid = sched.add_thread(0, CoreId(idx));
+                threads.push(ThreadInfo {
+                    body: Body::Vcpu { vm, idx },
+                    seg: None,
+                    seg_started: SimTime::ZERO,
+                    gen: GenToken::new(),
+                });
+                debug_assert_eq!(tid.idx() + 1, threads.len());
+                vcpu_tids.push(tid);
+                vcpus.push(Vcpu::new(VcpuId::new(vm, idx), path));
+                vctx.push(VcpuCtx::default());
+            }
+            // vhost worker on the cores after the vCPU block.
+            let vhost_core = CoreId(topo.vcpus_per_vm + vm);
+            let vhost_tid = sched.add_thread(0, vhost_core);
+            threads.push(ThreadInfo {
+                body: Body::Vhost { vm },
+                seg: None,
+                seg_started: SimTime::ZERO,
+                gen: GenToken::new(),
+            });
+
+            let mut worker = VhostWorker::new();
+            let tx_h = worker.register_handler();
+            let rx_h = worker.register_handler();
+            let vq_cfg = VirtqueueConfig {
+                size: params.ring_size,
+                event_idx: true,
+            };
+            let mut tx = Virtqueue::new(vq_cfg);
+            let mut rx = Virtqueue::new(vq_cfg);
+            // Guest TX completions are reclaimed in the xmit path; TX
+            // interrupts armed only when the ring fills.
+            tx.driver_disable_interrupts();
+            // Guest pre-fills the whole RX ring with buffers; refill kicks
+            // stay unarmed unless vhost runs out of buffers.
+            let mut pf_init = PacketFactory::new();
+            for _ in 0..params.ring_size {
+                let placeholder = pf_init.make(
+                    es2_net::FlowId(vm),
+                    es2_net::PacketKind::Data,
+                    0,
+                    SimTime::ZERO,
+                );
+                rx.driver_add(placeholder).expect("ring has room");
+            }
+            rx.device_disable_notify();
+
+            let tx_handler = match cfg.hybrid {
+                Some(h) => HybridHandler::new(h),
+                None => HybridHandler::stock(),
+            };
+
+            vms.push(VmState {
+                vcpus,
+                vcpu_tids,
+                vctx,
+                vhost_tid,
+                worker,
+                tx_h,
+                rx_h,
+                cur_handler: None,
+                tx,
+                rx,
+                tx_handler,
+                rx_turn: 0,
+                backlog: NicQueue::new(params.host_backlog),
+                tx_vector: 0x41,
+                rx_vector: 0x42,
+                affinity_vcpu: 0,
+                blocked_tx_full: false,
+                guest_idles: specs[vm as usize].guest_idles(),
+                wl: GuestWl::for_spec(&specs[vm as usize], params.tcp_window),
+                dropped_tx: 0,
+                vf_drops: 0,
+                parked_irqs: Vec::new(),
+                parked_count: 0,
+                migrated_count: 0,
+                rx_latency: es2_metrics::Summary::new(),
+            });
+        }
+
+        let router = if cfg.redirect {
+            let engine = match params.redirect_policies {
+                Some((target, offline)) => RedirectionEngine::with_policies(
+                    topo.num_vms as usize,
+                    topo.vcpus_per_vm,
+                    target,
+                    offline,
+                    seed ^ 0x5eed,
+                ),
+                None => RedirectionEngine::new(topo.num_vms as usize, topo.vcpus_per_vm),
+            };
+            Some(Es2Router::new(engine))
+        } else {
+            None
+        };
+
+        let ext = specs
+            .iter()
+            .map(|s| crate::workload::ExtWl::for_spec(s, params.ext_tcp_window, rng.next_u64()))
+            .collect();
+
+        let end_time = SimTime::ZERO + params.warmup + params.measure;
+        let mut m = Machine {
+            p: params,
+            cfg,
+            topo,
+            specs,
+            now: SimTime::ZERO,
+            q: EventQueue::with_capacity(1 << 16),
+            rng,
+            sched,
+            threads,
+            vms,
+            ext,
+            link_to_ext: Link::forty_gbe(),
+            link_to_host: Link::forty_gbe(),
+            pf: PacketFactory::new(),
+            router,
+            window_open: false,
+            end_time,
+        };
+        m.bootstrap();
+        m
+    }
+
+    fn bootstrap(&mut self) {
+        // Per-core tick chains, staggered like per-CPU jiffies offsets.
+        for c in 0..self.p.num_cores {
+            let off = SimDuration::from_micros(37 * (c as u64 + 1));
+            self.q.push(
+                SimTime::ZERO + self.p.sched.tick_period + off,
+                Ev::Tick(CoreId(c)),
+            );
+        }
+        // Guest timers, staggered.
+        for vm in 0..self.topo.num_vms {
+            for v in 0..self.topo.vcpus_per_vm {
+                let off = SimDuration::from_micros(
+                    101 * (vm as u64 * self.topo.vcpus_per_vm as u64 + v as u64 + 1),
+                );
+                self.q.push(
+                    SimTime::ZERO + self.p.guest_timer_period + off,
+                    Ev::GuestTimer { vm, vcpu: v },
+                );
+            }
+        }
+        // Wake every vCPU thread (guests boot busy: the burn scripts).
+        // Initial vruntimes are staggered randomly so per-core rotations
+        // start out of phase, as on any real host; otherwise equal-weight
+        // vCPU threads on different cores rotate in lockstep and a VM is
+        // always either fully online or fully offline — the degenerate
+        // co-scheduling case §IV-C argues is rare.
+        let latency = self.p.sched.sched_latency.as_nanos();
+        for vm in 0..self.vms.len() {
+            for i in 0..self.vms[vm].vcpu_tids.len() {
+                let tid = self.vms[vm].vcpu_tids[i];
+                let nudge = self.rng.gen_range(latency);
+                self.sched.nudge_vruntime(tid, nudge);
+                if let Some(sw) = self.sched.wake(tid, self.now) {
+                    self.apply_switch(sw);
+                }
+            }
+        }
+        // External traffic kick-off.
+        self.bootstrap_external();
+        // Measurement window.
+        self.q.push(SimTime::ZERO + self.p.warmup, Ev::OpenWindow);
+        self.q.push(self.end_time, Ev::CloseWindow);
+    }
+
+    /// Render a diagnostic snapshot of the world state (probe tooling).
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "now={:?} events_pending={}", self.now, self.q.len());
+        for (i, vm) in self.vms.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "vm{}: tx[avail={} used={} free={} notify_off={}] rx[avail={} used={} notify_off={}] backlog={} blocked_tx_full={} mode={:?} worker_pending={} dropped_tx={}",
+                i,
+                vm.tx.avail_pending(),
+                vm.tx.used_pending(),
+                vm.tx.num_free(),
+                vm.tx.notify_disabled(),
+                vm.rx.avail_pending(),
+                vm.rx.used_pending(),
+                vm.rx.notify_disabled(),
+                vm.backlog.len(),
+                vm.blocked_tx_full,
+                vm.tx_handler.mode(),
+                vm.worker.pending(),
+                vm.dropped_tx,
+            );
+            for (j, v) in vm.vcpus.iter().enumerate() {
+                let tid = vm.vcpu_tids[j];
+                let _ = writeln!(
+                    s,
+                    "  vcpu{}: in_guest={} running={} seg={:?} stack_len={} pending_kicks={} deliverable={}",
+                    j,
+                    v.in_guest,
+                    v.running,
+                    self.threads[tid.idx()].seg.as_ref().map(|x| x.kind),
+                    vm.vctx[j].stack.len(),
+                    vm.vctx[j].pending_kicks.len(),
+                    v.has_deliverable(),
+                );
+            }
+            let vt = vm.vhost_tid;
+            let _ = writeln!(
+                s,
+                "  vhost: running={} seg={:?}",
+                self.sched.is_running(vt),
+                self.threads[vt.idx()].seg.as_ref().map(|x| x.kind)
+            );
+            if let Some(d) = self.wl_debug(i) {
+                let _ = writeln!(s, "  wl: {d}");
+            }
+            if let crate::workload::ExtWl::TcpSource {
+                flow,
+                cwnd,
+                send_armed,
+                ..
+            } = &self.ext[i]
+            {
+                let _ = writeln!(
+                    s,
+                    "  ext: tcp_source inflight={} cwnd={} sent={} acked={} armed={}",
+                    flow.inflight(),
+                    cwnd,
+                    flow.sent_total(),
+                    flow.acked_total(),
+                    send_armed
+                );
+            }
+        }
+        s
+    }
+
+    fn wl_debug(&self, vm: usize) -> Option<String> {
+        match &self.vms[vm].wl {
+            GuestWl::NetperfSend {
+                flows, sent_msgs, ..
+            } => Some(format!(
+                "send: inflight={:?} sent_msgs={}",
+                flows.iter().map(|f| f.inflight()).collect::<Vec<_>>(),
+                sent_msgs
+            )),
+            GuestWl::NetperfRecv {
+                flow,
+                received_segs,
+                ack_flush_pending,
+                ..
+            } => Some(format!(
+                "recv: received_total={} received_segs_windowed={} flush_pending={}",
+                flow.received_total(),
+                received_segs,
+                ack_flush_pending
+            )),
+            GuestWl::Server { pending, served } => Some(format!(
+                "server: pending={} served={}",
+                pending.len(),
+                served
+            )),
+            GuestWl::Passive => None,
+        }
+    }
+
+    /// Run to completion, returning results plus a final state snapshot.
+    pub fn run_with_snapshot(mut self) -> (RunResult, String) {
+        while let Some((t, ev)) = self.q.pop() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            if t > self.end_time {
+                break;
+            }
+            self.dispatch(ev);
+        }
+        let snap = self.debug_snapshot();
+        (RunResult::collect(self), snap)
+    }
+
+    /// Run to completion and collect results.
+    pub fn run(mut self) -> RunResult {
+        while let Some((t, ev)) = self.q.pop() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            if t > self.end_time {
+                break;
+            }
+            self.dispatch(ev);
+        }
+        RunResult::collect(self)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Tick(core) => {
+                let noise = self
+                    .rng
+                    .gen_range(self.p.sched_tick_noise.as_nanos().max(1));
+                if let Some(sw) = self.sched.tick_with_noise(core, self.now, noise) {
+                    self.apply_switch(sw);
+                }
+                self.q
+                    .push(self.now + self.p.sched.tick_period, Ev::Tick(core));
+            }
+            Ev::SegDone { tid, gen } => {
+                if self.threads[tid.idx()].gen.is_current(gen) {
+                    self.on_seg_done(tid);
+                }
+            }
+            Ev::GuestTimer { vm, vcpu } => {
+                self.deliver_to_vcpu(vm, vcpu, LOCAL_TIMER_VECTOR);
+                self.q.push(
+                    self.now + self.p.guest_timer_period,
+                    Ev::GuestTimer { vm, vcpu },
+                );
+            }
+            Ev::KickIpi { vm, vcpu } => self.on_kick_ipi(vm, vcpu),
+            Ev::PiNotifyIpi { vm, vcpu } => self.on_pi_notify_ipi(vm, vcpu),
+            Ev::ArriveAtExt { vm, pkt } => self.on_arrive_ext(vm, pkt),
+            Ev::ArriveAtHost { vm, pkt } => self.on_arrive_host(vm, pkt),
+            Ev::ExtSend { vm } => self.on_ext_send(vm),
+            Ev::AckFlush { vm } => self.on_ack_flush(vm),
+            Ev::ExtTcpTimeout { vm } => self.on_ext_tcp_timeout(vm),
+            Ev::VfIrq { vm } => {
+                let vector = self.vms[vm as usize].rx_vector;
+                self.deliver_device_msi(vm, vector);
+            }
+            Ev::HandlerRequeue { vm, h } => {
+                let vmi = vm as usize;
+                self.vms[vmi].worker.queue_work(h);
+                let tid = self.vms[vmi].vhost_tid;
+                self.wake_thread(tid);
+            }
+            Ev::OpenWindow => {
+                self.window_open = true;
+                let now = self.now;
+                for vm in &mut self.vms {
+                    for v in &mut vm.vcpus {
+                        v.exits.open_window(now);
+                        v.tig.open_window(now);
+                    }
+                }
+            }
+            Ev::CloseWindow => {
+                self.window_open = false;
+                let now = self.now;
+                for vm in &mut self.vms {
+                    for v in &mut vm.vcpus {
+                        v.exits.close_window(now);
+                        v.tig.close_window(now);
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Segment mechanics
+    // -----------------------------------------------------------------
+
+    /// Begin a fresh segment on a running thread.
+    pub(crate) fn start_segment(&mut self, tid: ThreadId, kind: SegKind, dur: SimDuration) {
+        debug_assert!(self.sched.is_running(tid), "segment on a parked thread");
+        let t = &mut self.threads[tid.idx()];
+        t.seg = Some(Segment {
+            kind,
+            remaining: dur,
+        });
+        t.seg_started = self.now;
+        let gen = t.gen.bump();
+        self.q.push(self.now + dur, Ev::SegDone { tid, gen });
+    }
+
+    /// Resume a thread's saved segment. `charge_ctx` adds the host
+    /// context-switch cost (scheduler switches only; IRQ returns and VM
+    /// entries resume for free — their costs are modeled explicitly).
+    fn resume_saved(&mut self, tid: ThreadId, charge_ctx: bool) {
+        let ctx_cost = self.p.ctx_switch;
+        let t = &mut self.threads[tid.idx()];
+        let seg = t.seg.as_mut().expect("resume without saved segment");
+        if charge_ctx {
+            seg.remaining += ctx_cost;
+        }
+        t.seg_started = self.now;
+        let gen = t.gen.bump();
+        let at = self.now + seg.remaining;
+        self.q.push(at, Ev::SegDone { tid, gen });
+    }
+
+    /// Save the active segment's remaining work (preemption or IRQ
+    /// interruption) and invalidate its completion event. Returns the
+    /// saved segment (also left in `threads[tid].seg`).
+    pub(crate) fn save_active(&mut self, tid: ThreadId) -> Option<Segment> {
+        let now = self.now;
+        let t = &mut self.threads[tid.idx()];
+        t.gen.bump();
+        if let Some(seg) = t.seg.as_mut() {
+            let elapsed = now.saturating_since(t.seg_started);
+            seg.remaining = seg.remaining.saturating_sub(elapsed);
+            Some(*seg)
+        } else {
+            None
+        }
+    }
+
+    /// Clear the thread's segment slot (it completed or was moved to an
+    /// IRQ resume stack).
+    pub(crate) fn clear_seg(&mut self, tid: ThreadId) -> Option<Segment> {
+        self.threads[tid.idx()].seg.take()
+    }
+
+    // -----------------------------------------------------------------
+    // Scheduler integration (the kvm_sched_in / kvm_sched_out notifiers)
+    // -----------------------------------------------------------------
+
+    pub(crate) fn apply_switch(&mut self, sw: Switch) {
+        if let Some(prev) = sw.prev {
+            self.on_sched_out(prev);
+        }
+        if let Some(next) = sw.next {
+            self.on_sched_in(next);
+        }
+    }
+
+    fn on_sched_out(&mut self, tid: ThreadId) {
+        self.save_active(tid);
+        if let Body::Vcpu { vm, idx } = self.threads[tid.idx()].body {
+            let now = self.now;
+            let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
+            if vcpu.in_guest {
+                // Preemption forces a world switch out of guest mode.
+                vcpu.vm_exit();
+                vcpu.exits.record(ExitReason::Other);
+                vcpu.tig.leave_guest(now);
+            }
+            vcpu.sched_out();
+            if let Some(r) = &mut self.router {
+                r.on_sched_change(VcpuId::new(vm, idx), false);
+            }
+        }
+    }
+
+    fn on_sched_in(&mut self, tid: ThreadId) {
+        match self.threads[tid.idx()].body {
+            Body::Vcpu { vm, idx } => {
+                self.vms[vm as usize].vcpus[idx as usize].sched_in();
+                if let Some(r) = &mut self.router {
+                    r.on_sched_change(VcpuId::new(vm, idx), true);
+                    self.migrate_parked_irqs(vm, idx);
+                }
+                // If the thread was preempted mid-root-mode work, resume it
+                // without a VM entry; the entry happens when that exit
+                // handling completes.
+                let in_root = matches!(
+                    self.threads[tid.idx()].seg,
+                    Some(Segment {
+                        kind: SegKind::Exit { .. },
+                        ..
+                    })
+                );
+                if in_root {
+                    self.resume_saved(tid, true);
+                } else {
+                    self.vm_entry_and_dispatch(vm, idx);
+                }
+            }
+            Body::Vhost { .. } => {
+                if self.threads[tid.idx()].seg.is_some() {
+                    self.resume_saved(tid, true);
+                } else {
+                    self.vhost_continue(tid);
+                }
+            }
+        }
+    }
+
+    /// Wake a thread; apply any resulting context switch.
+    pub(crate) fn wake_thread(&mut self, tid: ThreadId) {
+        if let Some(sw) = self.sched.wake(tid, self.now) {
+            self.apply_switch(sw);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // VM entries, exits and interrupt plumbing
+    // -----------------------------------------------------------------
+
+    /// Record an exit of `reason` and transition the vCPU to root mode.
+    pub(crate) fn do_vm_exit(&mut self, vm: u32, idx: u32, reason: ExitReason) {
+        let now = self.now;
+        let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
+        debug_assert!(vcpu.in_guest);
+        vcpu.vm_exit();
+        vcpu.exits.record(reason);
+        vcpu.tig.leave_guest(now);
+        self.vms[vm as usize].vctx[idx as usize].cache_cold = true;
+    }
+
+    /// VM entry: transition to guest mode, then dispatch what the guest
+    /// does next — an injected/pending interrupt handler, a resumed
+    /// interrupted segment, or fresh application work.
+    pub(crate) fn vm_entry_and_dispatch(&mut self, vm: u32, idx: u32) {
+        let now = self.now;
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        let injected = {
+            let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
+            debug_assert!(!vcpu.in_guest);
+            let injected = vcpu.vm_entry();
+            vcpu.tig.enter_guest(now);
+            injected
+        };
+        // Emulated path: the entry injected at most one vector. Posted
+        // path: the entry synchronized PIR→vIRR; take from the vAPIC.
+        let vector = if self.cfg.use_pi {
+            self.vms[vm as usize].vcpus[idx as usize].take_posted_interrupt()
+        } else {
+            injected
+        };
+        if let Some(v) = vector {
+            // An interrupt preempts whatever the guest was about to resume:
+            // push the saved segment (if any) onto the IRQ resume stack.
+            if let Some(seg) = self.clear_seg(tid) {
+                self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
+            }
+            self.begin_irq(vm, idx, v);
+        } else {
+            self.resume_or_fresh(vm, idx);
+        }
+    }
+
+    /// Begin a root-mode exit-handling segment.
+    pub(crate) fn begin_exit(&mut self, vm: u32, idx: u32, reason: ExitReason, then: AfterExit) {
+        self.do_vm_exit(vm, idx, reason);
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        let dur = self.p.costs.exit_cost(reason);
+        self.start_segment(tid, SegKind::Exit { reason, then }, dur);
+    }
+
+    /// The guest executes the virtqueue kick: the I/O-instruction exit.
+    /// KVM's `handle_io` signals the eventfd early in the exit handling,
+    /// so the vhost worker wakes (on its own core) concurrently with the
+    /// rest of the exit processing.
+    pub(crate) fn begin_kick_exit(&mut self, vm: u32, idx: u32, h: HandlerId) {
+        let vmi = vm as usize;
+        self.vms[vmi].worker.queue_work(h);
+        let vhost_tid = self.vms[vmi].vhost_tid;
+        self.wake_thread(vhost_tid);
+        self.begin_exit(vm, idx, ExitReason::IoInstruction, AfterExit::Resume);
+    }
+
+    /// Deliver a virtual interrupt to a specific vCPU (timer, or a routed
+    /// device MSI), performing the configured delivery machinery.
+    pub(crate) fn deliver_to_vcpu(&mut self, vm: u32, idx: u32, vector: Vector) {
+        let outcome = self.vms[vm as usize].vcpus[idx as usize].deliver(vector);
+        match outcome {
+            DeliveryOutcome::EmulatedKick => {
+                self.q.push(
+                    self.now + self.p.costs.ipi_send,
+                    Ev::KickIpi { vm, vcpu: idx },
+                );
+            }
+            DeliveryOutcome::PiNotify => {
+                self.q.push(
+                    self.now + self.p.costs.ipi_send,
+                    Ev::PiNotifyIpi { vm, vcpu: idx },
+                );
+            }
+            DeliveryOutcome::EmulatedPendingEntry | DeliveryOutcome::PiPosted => {
+                // Waits for the next VM entry (possibly after scheduling
+                // delay — the latency ES2's redirection removes). A halted
+                // vCPU is woken now (KVM unblocks it on event delivery);
+                // for a merely-preempted one the wake is a no-op.
+                let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+                self.wake_thread(tid);
+            }
+        }
+    }
+
+    /// Route a device MSI through the configured router and deliver it.
+    pub(crate) fn deliver_device_msi(&mut self, vm: u32, vector: Vector) {
+        let affinity = self.vms[vm as usize].affinity_vcpu;
+        let target = match &mut self.router {
+            Some(r) => {
+                let online: Vec<bool> = self.vms[vm as usize]
+                    .vcpus
+                    .iter()
+                    .map(|v| v.running)
+                    .collect();
+                let load: Vec<u64> = self.vms[vm as usize]
+                    .vcpus
+                    .iter()
+                    .map(|v| v.interrupts_handled())
+                    .collect();
+                let msg = es2_apic::MsiMessage::fixed(affinity as u8, vector);
+                let ctx = RouteCtx {
+                    vm: VmId(vm),
+                    num_vcpus: self.topo.vcpus_per_vm,
+                    online: &online,
+                    irq_load: &load,
+                };
+                r.route(&msg, &ctx).idx
+            }
+            None => {
+                let online: Vec<bool> = self.vms[vm as usize]
+                    .vcpus
+                    .iter()
+                    .map(|v| v.running)
+                    .collect();
+                let load = vec![0u64; online.len()];
+                let msg = es2_apic::MsiMessage::fixed(affinity as u8, vector);
+                let ctx = RouteCtx {
+                    vm: VmId(vm),
+                    num_vcpus: self.topo.vcpus_per_vm,
+                    online: &online,
+                    irq_load: &load,
+                };
+                AffinityRouter.route(&msg, &ctx).idx
+            }
+        };
+        if self.cfg.redirect && !self.vms[vm as usize].vcpus[target as usize].running {
+            // Offline prediction: remember the parked interrupt so it can
+            // migrate if another sibling comes online sooner.
+            self.vms[vm as usize].parked_irqs.push((target, vector));
+            self.vms[vm as usize].parked_count += 1;
+        }
+        self.deliver_to_vcpu(vm, target, vector);
+    }
+
+    /// A vCPU of `vm` just came online: migrate any parked device
+    /// interrupts still pending on offline siblings to it.
+    fn migrate_parked_irqs(&mut self, vm: u32, online_idx: u32) {
+        let vmi = vm as usize;
+        if self.vms[vmi].parked_irqs.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.vms[vmi].parked_irqs);
+        for (tgt, vector) in parked {
+            if tgt == online_idx {
+                continue; // about to be synchronized at this entry
+            }
+            let still_pending = !self.vms[vmi].vcpus[tgt as usize].running
+                && self.vms[vmi].vcpus[tgt as usize].rescind(vector);
+            if still_pending {
+                self.vms[vmi].migrated_count += 1;
+                if let Some(r) = &mut self.router {
+                    // Keep the engine's per-vCPU accounting in step.
+                    r.engine_mut().select_target(vmi, vector, online_idx);
+                }
+                self.deliver_to_vcpu(vm, online_idx, vector);
+            }
+        }
+    }
+
+    /// The emulated-path kick IPI arrived at the target core.
+    fn on_kick_ipi(&mut self, vm: u32, idx: u32) {
+        let vcpu = &self.vms[vm as usize].vcpus[idx as usize];
+        if !vcpu.in_guest || !vcpu.running {
+            // Target left guest mode in the meantime; the vector waits in
+            // the IRR for the next entry.
+            return;
+        }
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        // The external interrupt forces an exit; the interrupted guest
+        // segment is saved and pushed for post-IRQ resumption.
+        if self.save_active(tid).is_some() {
+            if let Some(seg) = self.clear_seg(tid) {
+                self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
+            }
+        }
+        self.begin_exit(vm, idx, ExitReason::ExternalInterrupt, AfterExit::Resume);
+    }
+
+    /// The PI notification IPI arrived at the target core (guest mode):
+    /// hardware synchronizes and delivers without an exit.
+    fn on_pi_notify_ipi(&mut self, vm: u32, idx: u32) {
+        let vcpu = &self.vms[vm as usize].vcpus[idx as usize];
+        if !vcpu.in_guest || !vcpu.running {
+            return; // synced at next VM entry instead
+        }
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        if self.save_active(tid).is_some() {
+            if let Some(seg) = self.clear_seg(tid) {
+                self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
+            }
+        }
+        self.start_segment(tid, SegKind::PiSync, self.p.costs.pi_notification);
+    }
+
+    // -----------------------------------------------------------------
+    // Segment completion dispatch
+    // -----------------------------------------------------------------
+
+    fn on_seg_done(&mut self, tid: ThreadId) {
+        let seg = self
+            .clear_seg(tid)
+            .expect("SegDone with current gen but no segment");
+        match (self.threads[tid.idx()].body, seg.kind) {
+            (Body::Vcpu { vm, idx }, SegKind::Burn) => {
+                self.start_vcpu_work(vm, idx);
+            }
+            (Body::Vcpu { vm, idx }, SegKind::App(step)) => {
+                self.complete_app(vm, idx, step);
+            }
+            (Body::Vcpu { vm, idx }, SegKind::Irq(kind)) => {
+                self.complete_irq(vm, idx, kind);
+            }
+            (Body::Vcpu { vm, idx }, SegKind::PiSync) => {
+                let vector = {
+                    let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
+                    vcpu.pi_notification_sync();
+                    vcpu.take_posted_interrupt()
+                };
+                match vector {
+                    Some(v) => self.begin_irq(vm, idx, v),
+                    None => self.resume_or_fresh(vm, idx),
+                }
+            }
+            (Body::Vcpu { vm, idx }, SegKind::Exit { then, .. }) => match then {
+                AfterExit::Resume => {
+                    self.vm_entry_and_dispatch(vm, idx);
+                }
+                AfterExit::Eoi => {
+                    self.vms[vm as usize].vcpus[idx as usize].eoi();
+                    self.vm_entry_and_dispatch(vm, idx);
+                }
+            },
+            (Body::Vhost { vm }, SegKind::VhostDispatch { h }) => {
+                self.vhost_begin_turn(vm, h);
+            }
+            (Body::Vhost { vm }, SegKind::VhostTxPkt { pkt }) => {
+                self.complete_vhost_tx(vm, pkt);
+            }
+            (Body::Vhost { vm }, SegKind::VhostRxPkt { pkt }) => {
+                self.complete_vhost_rx(vm, pkt);
+            }
+            (body, kind) => unreachable!("segment {kind:?} on {body:?}"),
+        }
+    }
+
+    /// Resume the vCPU's interrupted work (in guest mode): first honour a
+    /// TX kick that became due in IRQ context, then the thread's saved
+    /// segment, then the IRQ resume stack, then fresh application work.
+    pub(crate) fn resume_or_fresh(&mut self, vm: u32, idx: u32) {
+        if !self.vms[vm as usize].vctx[idx as usize]
+            .pending_kicks
+            .is_empty()
+        {
+            let h = self.vms[vm as usize].vctx[idx as usize]
+                .pending_kicks
+                .remove(0);
+            self.begin_kick_exit(vm, idx, h);
+            return;
+        }
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        if self.threads[tid.idx()].seg.is_some() {
+            self.resume_saved(tid, false);
+        } else if let Some(seg) = self.vms[vm as usize].vctx[idx as usize].stack.pop() {
+            self.threads[tid.idx()].seg = Some(seg);
+            self.resume_saved(tid, false);
+        } else {
+            self.start_vcpu_work(vm, idx);
+        }
+    }
+}

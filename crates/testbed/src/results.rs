@@ -1,0 +1,188 @@
+//! Run results: the measurements the paper reports.
+
+use es2_hypervisor::{ExitReason, ExitStats};
+use es2_sim::SimDuration;
+use es2_workloads::NetperfProto;
+
+use crate::machine::Machine;
+use crate::workload::{ExtWl, GuestWl, WorkloadSpec};
+
+/// Everything a single testbed run measured (for VM 0, the tested VM).
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Configuration label ("Baseline", "PI", ...).
+    pub config: &'static str,
+    /// Merged exit statistics across the tested VM's vCPUs (windowed).
+    pub exits: ExitStats,
+    /// Mean time-in-guest percentage across the tested VM's vCPUs.
+    pub tig_percent: f64,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Delivered goodput in Gb/s (netperf workloads).
+    pub goodput_gbps: f64,
+    /// Application operations per second (memcached ops / apache
+    /// transactions).
+    pub ops_per_sec: f64,
+    /// Mean connection-establishment time in ms (httperf).
+    pub mean_conn_time_ms: f64,
+    /// Connections established in the window (httperf).
+    pub conns_established: u64,
+    /// Ping RTT samples: (reply time in seconds, RTT in ms).
+    pub rtt_series: Vec<(f64, f64)>,
+    /// Guest kicks performed (TX queue, lifetime).
+    pub kicks_total: u64,
+    /// Virtual interrupts the device raised (RX queue, lifetime).
+    pub rx_interrupts_total: u64,
+    /// Interrupts redirected by ES2 (lifetime; 0 without redirection).
+    pub redirections: u64,
+    /// Offline-list predictions used (no online vCPU available).
+    pub offline_predictions: u64,
+    /// Ingress packets tail-dropped at the host backlog.
+    pub backlog_drops: u64,
+    /// Host context switches across all cores.
+    pub host_ctx_switches: u64,
+    /// Mode switches of the TX hybrid handler into polling.
+    pub polling_entries: u64,
+    /// Interrupts parked on offline vCPUs (offline-list prediction).
+    pub parked_irqs: u64,
+    /// Parked interrupts migrated to a sibling that came online sooner.
+    pub migrated_irqs: u64,
+    /// Mean one-way latency from packet creation (external host or guest)
+    /// to guest NAPI consumption, in microseconds.
+    pub mean_rx_latency_us: f64,
+    /// Maximum observed one-way receive latency, in microseconds.
+    pub max_rx_latency_us: f64,
+}
+
+impl RunResult {
+    /// Exits per second for one cause.
+    pub fn rate(&self, reason: ExitReason) -> f64 {
+        self.exits.rate(reason)
+    }
+
+    /// Total exits per second.
+    pub fn total_exit_rate(&self) -> f64 {
+        self.exits.total_rate()
+    }
+
+    /// I/O-instruction exits per second (the Fig. 4 metric).
+    pub fn io_exit_rate(&self) -> f64 {
+        self.exits.rate(ExitReason::IoInstruction)
+    }
+
+    /// Maximum ping RTT in ms.
+    pub fn max_rtt_ms(&self) -> f64 {
+        self.rtt_series.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+
+    /// Mean ping RTT in ms.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        if self.rtt_series.is_empty() {
+            return 0.0;
+        }
+        self.rtt_series.iter().map(|&(_, r)| r).sum::<f64>() / self.rtt_series.len() as f64
+    }
+
+    pub(crate) fn collect(m: Machine) -> RunResult {
+        let vm0 = &m.vms[0];
+        let mut exits = ExitStats::new();
+        let mut tig_sum = 0.0;
+        for v in &vm0.vcpus {
+            exits.merge(&v.exits);
+            tig_sum += v.tig.tig_percent();
+        }
+        let tig_percent = tig_sum / vm0.vcpus.len() as f64;
+        let window = m.p.measure;
+        let secs = window.as_secs_f64();
+
+        let mut goodput_gbps = 0.0;
+        let mut ops_per_sec = 0.0;
+        let mut mean_conn_time_ms = 0.0;
+        let mut conns_established = 0;
+        let mut rtt_series = Vec::new();
+
+        match (&m.specs[0], &m.ext[0], &vm0.wl) {
+            (WorkloadSpec::Netperf(np), ExtWl::TcpSink { received_segs, .. }, _) => {
+                goodput_gbps =
+                    *received_segs as f64 * np.payload_per_segment() as f64 * 8.0 / secs / 1e9;
+            }
+            (WorkloadSpec::Netperf(np), ExtWl::UdpSink { received }, _) => {
+                goodput_gbps = *received as f64 * np.msg_bytes as f64 * 8.0 / secs / 1e9;
+            }
+            (WorkloadSpec::Netperf(np), _, GuestWl::NetperfRecv { received_segs, .. }) => {
+                let per_seg = match np.proto {
+                    NetperfProto::Tcp => np.payload_per_segment(),
+                    NetperfProto::Udp => np.msg_bytes.min(es2_net::packet::MSS),
+                };
+                goodput_gbps = *received_segs as f64 * per_seg as f64 * 8.0 / secs / 1e9;
+            }
+            (WorkloadSpec::Memcached, ExtWl::Memaslap { ops_windowed, .. }, _) => {
+                ops_per_sec = *ops_windowed as f64 / secs;
+            }
+            (
+                WorkloadSpec::Apache,
+                ExtWl::Ab {
+                    completed_windowed, ..
+                },
+                _,
+            ) => {
+                ops_per_sec = *completed_windowed as f64 / secs;
+                goodput_gbps = *completed_windowed as f64
+                    * es2_workloads::apachebench::PAGE_BYTES as f64
+                    * 8.0
+                    / secs
+                    / 1e9;
+            }
+            (WorkloadSpec::Httperf { .. }, ExtWl::Httperf { conn_times_ms, .. }, _) => {
+                conns_established = conn_times_ms.len() as u64;
+                if !conn_times_ms.is_empty() {
+                    mean_conn_time_ms =
+                        conn_times_ms.iter().sum::<f64>() / conn_times_ms.len() as f64;
+                }
+            }
+            (WorkloadSpec::Ping, ExtWl::Ping(probe), _) => {
+                rtt_series = probe
+                    .rtts()
+                    .iter()
+                    .map(|&(at, rtt)| (at.as_secs_f64(), rtt.as_millis_f64()))
+                    .collect();
+            }
+            _ => {}
+        }
+
+        let host_ctx_switches = (0..m.sched.num_cores())
+            .map(|c| m.sched.switch_count(es2_sched::CoreId(c as u32)))
+            .sum();
+
+        let (redirections, offline_predictions) = match &m.router {
+            Some(r) => (
+                r.engine().redirection_count(),
+                r.engine().offline_prediction_count(),
+            ),
+            None => (0, 0),
+        };
+
+        RunResult {
+            config: m.cfg.label(),
+            exits,
+            tig_percent,
+            window,
+            goodput_gbps,
+            ops_per_sec,
+            mean_conn_time_ms,
+            conns_established,
+            rtt_series,
+            kicks_total: vm0.tx.kick_count() + vm0.rx.kick_count(),
+            rx_interrupts_total: vm0.rx.interrupt_count(),
+            redirections,
+            offline_predictions,
+            backlog_drops: vm0.backlog.dropped_total(),
+            host_ctx_switches,
+            polling_entries: vm0.tx_handler.polling_entries(),
+            parked_irqs: vm0.parked_count,
+            migrated_irqs: vm0.migrated_count,
+            mean_rx_latency_us: vm0.rx_latency.mean(),
+            max_rx_latency_us: vm0.rx_latency.max(),
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The split virtqueue with full notification-suppression semantics.
+//!
+//! We do not model guest physical memory — descriptors carry an opaque
+//! payload `T` (the testbed stores packet handles). What *is* modeled
+//! bit-faithfully is the notification contract of the virtio 1.0 split
+//! ring, because the paper's hybrid I/O handling is built directly on it:
+//!
+//! * the driver→device direction (`avail` ring) with the
+//!   `VRING_USED_F_NO_NOTIFY` flag and the `avail_event` index deciding
+//!   whether an exposed buffer requires a **kick** (= an I/O-instruction VM
+//!   exit),
+//! * the device→driver direction (`used` ring) with the
+//!   `VRING_AVAIL_F_NO_INTERRUPT` flag and the `used_event` index deciding
+//!   whether a consumed buffer requires a **virtual interrupt**,
+//! * the `vring_need_event` wrap-around window comparison from the spec.
+
+use std::collections::VecDeque;
+
+/// Configuration of one virtqueue.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtqueueConfig {
+    /// Ring size (number of descriptors). vhost-net defaults to 256.
+    pub size: u16,
+    /// Whether `VIRTIO_F_EVENT_IDX` was negotiated (modern Linux: yes).
+    pub event_idx: bool,
+}
+
+impl Default for VirtqueueConfig {
+    fn default() -> Self {
+        VirtqueueConfig {
+            size: 256,
+            event_idx: true,
+        }
+    }
+}
+
+/// Whether the driver must notify (kick) the device after exposing a buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KickDecision {
+    /// Device requested a notification: the guest executes the kick I/O
+    /// instruction (a VM exit in notification mode).
+    Kick,
+    /// Notifications are suppressed: expose the buffer silently.
+    NoKick,
+}
+
+/// `vring_need_event()` from the virtio spec: `true` iff `event_idx` lies in
+/// the half-open wrap-around window `[old, new)`.
+#[inline]
+fn need_event(event_idx: u16, new_idx: u16, old_idx: u16) -> bool {
+    new_idx.wrapping_sub(event_idx).wrapping_sub(1) < new_idx.wrapping_sub(old_idx)
+}
+
+/// A split virtqueue carrying payloads of type `T`.
+#[derive(Clone, Debug)]
+pub struct Virtqueue<T> {
+    cfg: VirtqueueConfig,
+    /// Buffers exposed by the driver, not yet consumed by the device.
+    avail: VecDeque<T>,
+    /// Buffers completed by the device, not yet reclaimed by the driver.
+    used: VecDeque<T>,
+    /// Free descriptors (ring capacity not currently in flight).
+    num_free: u16,
+
+    // --- indices (free-running, wrap at 2^16 like the real ring) ---
+    avail_idx: u16,
+    used_idx: u16,
+    /// Device's consumption cursor into the avail ring.
+    last_avail_idx: u16,
+    /// Driver's consumption cursor into the used ring.
+    last_used_idx: u16,
+
+    // --- notification suppression state ---
+    /// `VRING_USED_F_NO_NOTIFY`: device tells driver "do not kick".
+    used_flags_no_notify: bool,
+    /// `VRING_AVAIL_F_NO_INTERRUPT`: driver tells device "do not interrupt".
+    avail_flags_no_interrupt: bool,
+    /// Device-written: kick me when `avail_idx` passes this (EVENT_IDX).
+    avail_event: u16,
+    /// Driver-written: interrupt me when `used_idx` passes this (EVENT_IDX).
+    used_event: u16,
+
+    // --- statistics ---
+    kicks: u64,
+    suppressed_kicks: u64,
+    interrupts: u64,
+    suppressed_interrupts: u64,
+}
+
+impl<T> Virtqueue<T> {
+    /// A new, empty virtqueue; notifications and interrupts start enabled.
+    pub fn new(cfg: VirtqueueConfig) -> Self {
+        assert!(cfg.size > 0 && cfg.size.is_power_of_two(), "ring size");
+        Virtqueue {
+            cfg,
+            avail: VecDeque::with_capacity(cfg.size as usize),
+            used: VecDeque::with_capacity(cfg.size as usize),
+            num_free: cfg.size,
+            avail_idx: 0,
+            used_idx: 0,
+            last_avail_idx: 0,
+            last_used_idx: 0,
+            used_flags_no_notify: false,
+            avail_flags_no_interrupt: false,
+            avail_event: 0,
+            used_event: 0,
+            kicks: 0,
+            suppressed_kicks: 0,
+            interrupts: 0,
+            suppressed_interrupts: 0,
+        }
+    }
+
+    /// Ring configuration.
+    pub fn config(&self) -> VirtqueueConfig {
+        self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Driver (guest front-end) side
+    // ------------------------------------------------------------------
+
+    /// Free descriptors available to the driver.
+    pub fn num_free(&self) -> u16 {
+        self.num_free
+    }
+
+    /// True if the driver cannot expose another buffer until it reclaims
+    /// used entries.
+    pub fn is_full(&self) -> bool {
+        self.num_free == 0
+    }
+
+    /// Expose one buffer to the device. Returns whether the driver must
+    /// kick, per the current suppression state.
+    ///
+    /// Returns `Err(payload)` if the ring is full.
+    pub fn driver_add(&mut self, payload: T) -> Result<KickDecision, T> {
+        if self.num_free == 0 {
+            return Err(payload);
+        }
+        self.num_free -= 1;
+        let old = self.avail_idx;
+        self.avail_idx = self.avail_idx.wrapping_add(1);
+        self.avail.push_back(payload);
+
+        // With EVENT_IDX, a device that disabled notifications re-parks
+        // `avail_event` on every processing pass (vhost_disable_notify), so
+        // the index can never be crossed while suppression is intended; we
+        // model that re-parking with the sticky flag. Without it, ~2^15
+        // silent adds would wrap the free-running index past the parked
+        // event and produce a phantom kick.
+        let kick = if self.used_flags_no_notify {
+            false
+        } else if self.cfg.event_idx {
+            need_event(self.avail_event, self.avail_idx, old)
+        } else {
+            true
+        };
+        if kick {
+            self.kicks += 1;
+            Ok(KickDecision::Kick)
+        } else {
+            self.suppressed_kicks += 1;
+            Ok(KickDecision::NoKick)
+        }
+    }
+
+    /// Reclaim one completed buffer from the used ring (frees a
+    /// descriptor).
+    pub fn driver_take_used(&mut self) -> Option<T> {
+        let p = self.used.pop_front()?;
+        self.last_used_idx = self.last_used_idx.wrapping_add(1);
+        self.num_free += 1;
+        Some(p)
+    }
+
+    /// Completed buffers the driver has not reclaimed yet.
+    pub fn used_pending(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Peek the oldest unreclaimed completion without consuming it.
+    pub fn peek_used(&self) -> Option<&T> {
+        self.used.front()
+    }
+
+    /// True while the driver has interrupts suppressed (NAPI poll mode).
+    pub fn interrupts_disabled(&self) -> bool {
+        self.avail_flags_no_interrupt
+    }
+
+    /// Driver disables device→driver interrupts (NAPI entering poll mode).
+    pub fn driver_disable_interrupts(&mut self) {
+        if self.cfg.event_idx {
+            // Push used_event far behind so need_event stays false for
+            // ~2^15 completions — how virtio_net's
+            // `virtqueue_disable_cb` works.
+            self.used_event = self.used_idx.wrapping_sub(0x8000);
+        }
+        self.avail_flags_no_interrupt = true;
+    }
+
+    /// Driver re-enables interrupts (NAPI complete). Returns `true` if the
+    /// used ring already holds entries — the race the driver must re-check
+    /// (it would otherwise miss an interrupt).
+    pub fn driver_enable_interrupts(&mut self) -> bool {
+        self.avail_flags_no_interrupt = false;
+        if self.cfg.event_idx {
+            self.used_event = self.last_used_idx;
+        }
+        !self.used.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Device (host back-end) side
+    // ------------------------------------------------------------------
+
+    /// Buffers exposed and not yet consumed.
+    pub fn avail_pending(&self) -> usize {
+        self.avail.len()
+    }
+
+    /// True if no exposed buffers are waiting.
+    pub fn is_avail_empty(&self) -> bool {
+        self.avail.is_empty()
+    }
+
+    /// Consume one exposed buffer.
+    pub fn device_pop(&mut self) -> Option<T> {
+        let p = self.avail.pop_front()?;
+        self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
+        Some(p)
+    }
+
+    /// Return one completed buffer to the driver. Returns `true` if the
+    /// device must raise a virtual interrupt, per the suppression state.
+    pub fn device_push_used(&mut self, payload: T) -> bool {
+        let old = self.used_idx;
+        self.used_idx = self.used_idx.wrapping_add(1);
+        self.used.push_back(payload);
+
+        // Symmetric to the kick side: a driver that disabled interrupts
+        // (NAPI poll mode, suppressed TX completions) keeps `used_event`
+        // parked; the sticky flag models the re-parking and prevents
+        // free-running-index wrap-around from firing phantom interrupts.
+        let interrupt = if self.avail_flags_no_interrupt {
+            false
+        } else if self.cfg.event_idx {
+            need_event(self.used_event, self.used_idx, old)
+        } else {
+            true
+        };
+        if interrupt {
+            self.interrupts += 1;
+        } else {
+            self.suppressed_interrupts += 1;
+        }
+        interrupt
+    }
+
+    /// Device suppresses driver kicks (entered busy processing or — for
+    /// ES2 — the permanent polling mode).
+    pub fn device_disable_notify(&mut self) {
+        self.used_flags_no_notify = true;
+        if self.cfg.event_idx {
+            // Park avail_event far behind (vhost_disable_notify).
+            self.avail_event = self.avail_idx.wrapping_sub(0x8000);
+        }
+    }
+
+    /// Device re-enables driver kicks (about to sleep / ES2 returning to
+    /// notification mode). Returns `true` if buffers raced in and the
+    /// device must process them before sleeping (`vhost_enable_notify`'s
+    /// re-check).
+    pub fn device_enable_notify(&mut self) -> bool {
+        self.used_flags_no_notify = false;
+        if self.cfg.event_idx {
+            self.avail_event = self.last_avail_idx;
+        }
+        !self.avail.is_empty()
+    }
+
+    /// Whether driver kicks are currently suppressed.
+    pub fn notify_disabled(&self) -> bool {
+        self.used_flags_no_notify
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Kicks the driver was told to perform.
+    pub fn kick_count(&self) -> u64 {
+        self.kicks
+    }
+
+    /// Buffer exposures that needed no kick.
+    pub fn suppressed_kick_count(&self) -> u64 {
+        self.suppressed_kicks
+    }
+
+    /// Interrupts the device was told to raise.
+    pub fn interrupt_count(&self) -> u64 {
+        self.interrupts
+    }
+
+    /// Completions that needed no interrupt.
+    pub fn suppressed_interrupt_count(&self) -> u64 {
+        self.suppressed_interrupts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vq(event_idx: bool) -> Virtqueue<u32> {
+        Virtqueue::new(VirtqueueConfig { size: 8, event_idx })
+    }
+
+    #[test]
+    fn first_add_kicks() {
+        let mut q = vq(true);
+        assert_eq!(q.driver_add(1).unwrap(), KickDecision::Kick);
+    }
+
+    #[test]
+    fn adds_while_device_busy_do_not_kick() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap(); // kick
+                                  // Device starts processing; with EVENT_IDX it has not re-armed
+                                  // avail_event, so subsequent adds are silent.
+        q.device_pop().unwrap();
+        assert_eq!(q.driver_add(2).unwrap(), KickDecision::NoKick);
+        assert_eq!(q.driver_add(3).unwrap(), KickDecision::NoKick);
+        assert_eq!(q.kick_count(), 1);
+        assert_eq!(q.suppressed_kick_count(), 2);
+    }
+
+    #[test]
+    fn enable_notify_rearms_kick() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        q.device_pop().unwrap();
+        let raced = q.device_enable_notify();
+        assert!(!raced, "queue drained, no race");
+        assert_eq!(q.driver_add(2).unwrap(), KickDecision::Kick);
+    }
+
+    #[test]
+    fn enable_notify_detects_race() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        q.device_pop().unwrap();
+        q.driver_add(2).unwrap(); // lands while device about to sleep
+        assert!(q.device_enable_notify(), "must re-check and find buffer");
+    }
+
+    #[test]
+    fn disable_notify_silences_driver_event_idx() {
+        let mut q = vq(true);
+        q.device_disable_notify();
+        for i in 0..5 {
+            assert_eq!(q.driver_add(i).unwrap(), KickDecision::NoKick, "i={i}");
+        }
+        assert_eq!(q.kick_count(), 0);
+    }
+
+    #[test]
+    fn disable_notify_silences_driver_flag_mode() {
+        let mut q = vq(false);
+        q.device_disable_notify();
+        assert_eq!(q.driver_add(1).unwrap(), KickDecision::NoKick);
+        q.device_enable_notify();
+        assert_eq!(q.driver_add(2).unwrap(), KickDecision::Kick);
+    }
+
+    #[test]
+    fn ring_capacity_enforced() {
+        let mut q = vq(true);
+        for i in 0..8 {
+            q.driver_add(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert!(q.driver_add(99).is_err());
+        // Descriptors free only when the driver reclaims used entries.
+        let p = q.device_pop().unwrap();
+        q.device_push_used(p);
+        assert!(q.is_full(), "still full until driver reclaims");
+        assert_eq!(q.driver_take_used(), Some(0));
+        assert_eq!(q.num_free(), 1);
+        q.driver_add(99).unwrap();
+    }
+
+    #[test]
+    fn first_completion_interrupts_then_coalesces() {
+        let mut q = vq(true);
+        for i in 0..4 {
+            q.driver_add(i).unwrap();
+        }
+        // Driver armed used_event at 0 (default): first completion
+        // interrupts, later ones coalesce until driver re-arms.
+        let p = q.device_pop().unwrap();
+        assert!(q.device_push_used(p), "first completion interrupts");
+        let p = q.device_pop().unwrap();
+        assert!(!q.device_push_used(p), "second coalesces");
+        assert_eq!(q.interrupt_count(), 1);
+        assert_eq!(q.suppressed_interrupt_count(), 1);
+    }
+
+    #[test]
+    fn napi_cycle_suppresses_then_rearms() {
+        let mut q = vq(true);
+        for i in 0..6 {
+            q.driver_add(i).unwrap();
+        }
+        let p = q.device_pop().unwrap();
+        assert!(q.device_push_used(p), "interrupt fires");
+        // Guest NAPI: disable, poll, re-enable.
+        q.driver_disable_interrupts();
+        let p = q.device_pop().unwrap();
+        assert!(!q.device_push_used(p), "suppressed during poll");
+        while q.driver_take_used().is_some() {}
+        let race = q.driver_enable_interrupts();
+        assert!(!race);
+        let p = q.device_pop().unwrap();
+        assert!(q.device_push_used(p), "re-armed after NAPI complete");
+    }
+
+    #[test]
+    fn driver_enable_interrupts_detects_race() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        q.driver_disable_interrupts();
+        let p = q.device_pop().unwrap();
+        q.device_push_used(p);
+        assert!(q.driver_enable_interrupts(), "pending used entry");
+    }
+
+    #[test]
+    fn no_phantom_kick_after_index_wraparound() {
+        // Regression: with notifications parked, >2^15 silent adds used to
+        // wrap the free-running avail index past the parked avail_event and
+        // produce a phantom kick.
+        let mut q: Virtqueue<u32> = Virtqueue::new(VirtqueueConfig {
+            size: 8,
+            event_idx: true,
+        });
+        q.device_disable_notify();
+        for i in 0..70_000u32 {
+            q.driver_add(i).unwrap();
+            let p = q.device_pop().unwrap();
+            q.device_push_used(p);
+            q.driver_take_used();
+        }
+        assert_eq!(q.kick_count(), 0, "parked queue must never kick");
+    }
+
+    #[test]
+    fn no_phantom_interrupt_after_index_wraparound() {
+        let mut q: Virtqueue<u32> = Virtqueue::new(VirtqueueConfig {
+            size: 8,
+            event_idx: true,
+        });
+        q.driver_disable_interrupts();
+        for i in 0..70_000u32 {
+            q.driver_add(i).unwrap();
+            let p = q.device_pop().unwrap();
+            q.device_push_used(p);
+            q.driver_take_used();
+        }
+        assert_eq!(
+            q.interrupt_count(),
+            0,
+            "suppressed queue must never interrupt"
+        );
+    }
+
+    #[test]
+    fn need_event_window_semantics() {
+        // event at old: fires.
+        assert!(need_event(10, 11, 10));
+        // event before old: does not fire.
+        assert!(!need_event(9, 11, 10));
+        // event at new: does not fire (not yet reached).
+        assert!(!need_event(11, 11, 10));
+        // wrap-around.
+        assert!(need_event(u16::MAX, 0, u16::MAX));
+        assert!(need_event(u16::MAX - 1, 2, u16::MAX - 1));
+    }
+
+    #[test]
+    fn fifo_payload_order_preserved() {
+        let mut q = vq(true);
+        for i in 0..5 {
+            q.driver_add(i).unwrap();
+        }
+        for want in 0..5 {
+            let p = q.device_pop().unwrap();
+            assert_eq!(p, want);
+            q.device_push_used(p);
+        }
+        for want in 0..5 {
+            assert_eq!(q.driver_take_used(), Some(want));
+        }
+    }
+
+    proptest! {
+        /// Conservation: every payload added is eventually either pending,
+        /// used, or reclaimed — never dropped or duplicated; free count
+        /// mirrors in-flight count.
+        #[test]
+        fn prop_descriptor_conservation(ops in proptest::collection::vec(0u8..4, 1..300)) {
+            let mut q: Virtqueue<u64> = Virtqueue::new(VirtqueueConfig { size: 16, event_idx: true });
+            let mut next_payload = 0u64;
+            let mut added = 0u64;
+            let mut reclaimed = 0u64;
+            for op in ops {
+                match op {
+                    0 => {
+                        if q.driver_add(next_payload).is_ok() {
+                            next_payload += 1;
+                            added += 1;
+                        }
+                    }
+                    1 => {
+                        if let Some(p) = q.device_pop() {
+                            q.device_push_used(p);
+                        }
+                    }
+                    2 => {
+                        if q.driver_take_used().is_some() {
+                            reclaimed += 1;
+                        }
+                    }
+                    _ => {
+                        // Random suppression toggles must not affect data flow.
+                        if next_payload % 2 == 0 {
+                            q.device_disable_notify();
+                        } else {
+                            q.device_enable_notify();
+                        }
+                    }
+                }
+                let in_flight = added - reclaimed;
+                prop_assert_eq!(16 - q.num_free() as u64, in_flight);
+                prop_assert_eq!(
+                    q.avail_pending() as u64 + q.used_pending() as u64
+                        + (in_flight - q.avail_pending() as u64 - q.used_pending() as u64),
+                    in_flight
+                );
+            }
+        }
+
+        /// With EVENT_IDX and an attentive device (re-arming after each
+        /// drain), every batch of adds produces exactly one kick.
+        #[test]
+        fn prop_one_kick_per_batch(batches in proptest::collection::vec(1usize..8, 1..20)) {
+            let mut q: Virtqueue<u64> = Virtqueue::new(VirtqueueConfig { size: 256, event_idx: true });
+            let mut payload = 0;
+            for (i, &n) in batches.iter().enumerate() {
+                let kicks_before = q.kick_count();
+                for _ in 0..n {
+                    q.driver_add(payload).unwrap();
+                    payload += 1;
+                }
+                prop_assert_eq!(q.kick_count(), kicks_before + 1, "batch {} size {}", i, n);
+                // Device drains and re-arms.
+                while let Some(p) = q.device_pop() {
+                    q.device_push_used(p);
+                }
+                while q.driver_take_used().is_some() {}
+                prop_assert!(!q.device_enable_notify());
+            }
+        }
+    }
+}

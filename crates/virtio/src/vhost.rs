@@ -1,0 +1,171 @@
+//! The vhost I/O worker thread model.
+//!
+//! In-kernel vhost (vhost-net) runs one kernel thread per device. Each
+//! virtqueue has a *handler* (`handle_tx` / `handle_rx`); guest kicks (or,
+//! under ES2, the polling scheduler) put handlers on the worker's FIFO
+//! *work list*, and the worker thread pops and runs them. When the list is
+//! empty the worker sleeps — that is the moment notification mode re-arms
+//! guest kicks.
+//!
+//! This module models only the work-list structure; what a handler *does*
+//! per invocation (and the ES2 quota logic) lives in `es2-core`.
+
+use std::collections::VecDeque;
+
+/// Index of a handler registered on a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HandlerId(pub u32);
+
+impl HandlerId {
+    /// Arena index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A vhost worker's pending-work state.
+#[derive(Clone, Debug, Default)]
+pub struct VhostWorker {
+    work: VecDeque<HandlerId>,
+    queued: Vec<bool>,
+    wakeups: u64,
+    dispatches: u64,
+}
+
+impl VhostWorker {
+    /// A worker with no registered handlers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler; returns its id.
+    pub fn register_handler(&mut self) -> HandlerId {
+        let id = HandlerId(self.queued.len() as u32);
+        self.queued.push(false);
+        id
+    }
+
+    /// Number of registered handlers.
+    pub fn num_handlers(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Queue `h` for execution (a guest kick or an ES2 requeue).
+    ///
+    /// Returns `true` if the worker was idle before — i.e. the worker
+    /// thread must be woken up. Duplicate queueing coalesces, like
+    /// `vhost_work_queue`.
+    pub fn queue_work(&mut self, h: HandlerId) -> bool {
+        let was_idle = self.work.is_empty();
+        if !self.queued[h.idx()] {
+            self.queued[h.idx()] = true;
+            self.work.push_back(h);
+            if was_idle {
+                self.wakeups += 1;
+            }
+        }
+        was_idle && !self.work.is_empty()
+    }
+
+    /// Pop the next handler to run, or `None` (worker sleeps).
+    pub fn next_work(&mut self) -> Option<HandlerId> {
+        let h = self.work.pop_front()?;
+        self.queued[h.idx()] = false;
+        self.dispatches += 1;
+        Some(h)
+    }
+
+    /// True if any handler is queued.
+    pub fn has_work(&self) -> bool {
+        !self.work.is_empty()
+    }
+
+    /// Number of queued handlers.
+    pub fn pending(&self) -> usize {
+        self.work.len()
+    }
+
+    /// True if `h` is currently queued.
+    pub fn is_queued(&self, h: HandlerId) -> bool {
+        self.queued[h.idx()]
+    }
+
+    /// Times the worker transitioned idle→busy.
+    pub fn wakeup_count(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Handler invocations dispatched.
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_reports_idle_transition() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        assert!(w.queue_work(a), "idle worker must be woken");
+        assert!(!w.queue_work(b), "already busy");
+    }
+
+    #[test]
+    fn duplicate_queueing_coalesces() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        w.queue_work(a);
+        w.queue_work(a);
+        assert_eq!(w.pending(), 1);
+        assert_eq!(w.next_work(), Some(a));
+        assert_eq!(w.next_work(), None);
+    }
+
+    #[test]
+    fn fifo_dispatch_order() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        let c = w.register_handler();
+        w.queue_work(b);
+        w.queue_work(a);
+        w.queue_work(c);
+        assert_eq!(w.next_work(), Some(b));
+        assert_eq!(w.next_work(), Some(a));
+        assert_eq!(w.next_work(), Some(c));
+    }
+
+    #[test]
+    fn requeue_after_pop_is_allowed() {
+        // The ES2 polling handler requeues itself when its quota expires.
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        w.queue_work(a);
+        assert_eq!(w.next_work(), Some(a));
+        assert!(!w.is_queued(a));
+        w.queue_work(a);
+        assert!(w.is_queued(a));
+        assert_eq!(w.next_work(), Some(a));
+    }
+
+    #[test]
+    fn counters() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        w.queue_work(a); // wakeup 1
+        w.queue_work(b);
+        w.next_work();
+        w.next_work();
+        w.queue_work(a); // wakeup 2
+        w.next_work();
+        assert_eq!(w.wakeup_count(), 2);
+        assert_eq!(w.dispatch_count(), 3);
+        assert!(!w.has_work());
+    }
+}

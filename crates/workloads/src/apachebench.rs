@@ -1,0 +1,131 @@
+//! ApacheBench — the Apache web-server load generator (§VI-E2).
+//!
+//! *"We configured ApacheBench [...] repeatedly requesting 8KB static pages
+//! from 16 concurrent threads."* Classic `ab` (no `-k`) opens a fresh TCP
+//! connection per request, so each transaction is:
+//!
+//! ```text
+//! SYN → SYN/ACK → ACK+GET → response (6 MSS segments for 8 KB) → FIN
+//! ```
+//!
+//! A closed loop with 16 outstanding transactions.
+
+/// Default static page size.
+pub const PAGE_BYTES: u32 = 8192;
+/// HTTP GET request size on the wire.
+pub const REQUEST_BYTES: u32 = 120;
+
+/// The closed-loop ApacheBench client.
+#[derive(Clone, Debug)]
+pub struct AbClient {
+    concurrency: u32,
+    page_bytes: u32,
+    outstanding: u32,
+    completed: u64,
+}
+
+impl AbClient {
+    /// The paper's configuration: 16 concurrent, 8 KB pages.
+    pub fn paper_config() -> Self {
+        Self::new(16, PAGE_BYTES)
+    }
+
+    /// A custom configuration.
+    pub fn new(concurrency: u32, page_bytes: u32) -> Self {
+        assert!(concurrency > 0 && page_bytes > 0);
+        AbClient {
+            concurrency,
+            page_bytes,
+            outstanding: 0,
+            completed: 0,
+        }
+    }
+
+    /// Configured concurrency.
+    pub fn concurrency(&self) -> u32 {
+        self.concurrency
+    }
+
+    /// Page size of each transaction.
+    pub fn page_bytes(&self) -> u32 {
+        self.page_bytes
+    }
+
+    /// Number of new transactions to start right now (fills the window).
+    pub fn issue(&mut self) -> u32 {
+        let n = self.concurrency - self.outstanding;
+        self.outstanding = self.concurrency;
+        n
+    }
+
+    /// A transaction completed (full page received). The closed loop
+    /// starts the next one immediately; returns `true` (always, for
+    /// symmetry with rate-limited clients).
+    pub fn on_complete(&mut self) -> bool {
+        debug_assert!(self.outstanding > 0);
+        self.completed += 1;
+        true
+    }
+
+    /// Completed transactions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests per second over `secs`.
+    pub fn requests_per_sec(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Transferred payload throughput in Gb/s over `secs` (page bodies
+    /// only, as `ab` reports "Transfer rate").
+    pub fn transfer_gbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 * self.page_bytes as f64 * 8.0 / secs / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es2_net::packet::segments_for;
+
+    #[test]
+    fn paper_page_is_six_segments() {
+        assert_eq!(segments_for(PAGE_BYTES), 6);
+    }
+
+    #[test]
+    fn window_fills_once() {
+        let mut c = AbClient::paper_config();
+        assert_eq!(c.issue(), 16);
+        assert_eq!(c.issue(), 0);
+    }
+
+    #[test]
+    fn closed_loop_counts() {
+        let mut c = AbClient::new(2, 8192);
+        c.issue();
+        assert!(c.on_complete());
+        assert!(c.on_complete());
+        assert_eq!(c.completed(), 2);
+        assert!((c.requests_per_sec(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_rate() {
+        let mut c = AbClient::new(1, 1_250_000); // 10 Mbit page
+        c.issue();
+        for _ in 0..100 {
+            c.on_complete();
+        }
+        assert!((c.transfer_gbps(1.0) - 1.0).abs() < 1e-9);
+    }
+}

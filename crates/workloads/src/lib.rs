@@ -1,0 +1,28 @@
+//! Workload generators matching the paper's benchmark tools (§VI).
+//!
+//! Each module models the *traffic-generating side* of a benchmark as a
+//! pure state machine the testbed drives with simulated time:
+//!
+//! * [`netperf`] — `netperf` TCP_STREAM / UDP_STREAM send and receive
+//!   (§VI-B, §VI-C, §VI-D1): saturating closed-loop bulk streams,
+//! * [`ping`] — `ping` with a one-second interval (§VI-D2),
+//! * [`memaslap`] — the Memcached load generator: "256 concurrent requests
+//!   from 16 threads with a get/set ratio of 9:1" (§VI-E1),
+//! * [`apachebench`] — ApacheBench: "repeatedly requesting 8KB static pages
+//!   from 16 concurrent threads" (§VI-E2),
+//! * [`httperf`] — Httperf: an open-loop connection-rate sweep measuring
+//!   "the average time spent establishing TCP connections" (§VI-E2).
+//!
+//! All generators are deterministic given a [`es2_sim::SimRng`] seed.
+
+pub mod apachebench;
+pub mod httperf;
+pub mod memaslap;
+pub mod netperf;
+pub mod ping;
+
+pub use apachebench::AbClient;
+pub use httperf::HttperfClient;
+pub use memaslap::{McOp, MemaslapClient};
+pub use netperf::{NetperfDirection, NetperfProto, NetperfSpec};
+pub use ping::PingProbe;

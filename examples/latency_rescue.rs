@@ -1,0 +1,57 @@
+//! Latency rescue: intelligent interrupt redirection under core
+//! multiplexing.
+//!
+//! ```text
+//! cargo run --release -p es2-testbed --example latency_rescue
+//! ```
+//!
+//! Reproduces the Fig. 7 situation: four 4-vCPU VMs time-share four cores;
+//! an external host pings the tested VM once per second. Without
+//! redirection, an echo request whose target vCPU is descheduled waits for
+//! the CFS rotation (milliseconds). ES2 redirects the interrupt to a vCPU
+//! that is online *right now* — or, if none is, to the sibling predicted to
+//! run soonest — and migrates it if another one comes online first.
+
+use es2_core::EventPathConfig;
+use es2_sim::SimDuration;
+use es2_testbed::{Machine, Params, Topology, WorkloadSpec};
+
+fn main() {
+    let params = Params {
+        measure: SimDuration::from_secs(20),
+        ..Params::default()
+    };
+
+    for cfg in [EventPathConfig::pi(), EventPathConfig::pi_h_r(4)] {
+        let r = Machine::new(cfg, Topology::multiplexed(), WorkloadSpec::Ping, params, 3).run();
+        println!("[{}]", r.config);
+        println!(
+            "  ping RTT: mean {:.3} ms, max {:.3} ms over {} probes",
+            r.mean_rtt_ms(),
+            r.max_rtt_ms(),
+            r.rtt_series.len()
+        );
+        if r.redirections + r.offline_predictions > 0 {
+            println!(
+                "  redirected to an online vCPU: {}, offline-list predictions: {}, migrated: {}",
+                r.redirections, r.offline_predictions, r.migrated_irqs
+            );
+        }
+        // A small sparkline of the RTT series.
+        let glyphs = ['_', '.', ':', '|', '#'];
+        let line: String = r
+            .rtt_series
+            .iter()
+            .map(|&(_, ms)| {
+                let idx = ((ms / 4.0) as usize).min(glyphs.len() - 1);
+                glyphs[idx]
+            })
+            .collect();
+        println!("  rtt/probe (4 ms per step): {line}\n");
+    }
+    println!(
+        "The PI run shows the vCPU-scheduling sawtooth (peaks are probes that\n\
+         arrived while the affinity vCPU was descheduled); the full-ES2 run\n\
+         keeps RTT flat by routing every echo to whichever vCPU can take it."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run one simulated testbed and read the headline numbers.
+//!
+//! ```text
+//! cargo run --release -p es2-testbed --example quickstart
+//! ```
+//!
+//! Builds the paper's 1-vCPU micro testbed sending a TCP stream, runs it
+//! under Baseline and under full ES2, and prints what the event path cost
+//! in each case.
+
+use es2_core::EventPathConfig;
+use es2_hypervisor::ExitReason;
+use es2_testbed::{Machine, Params, Topology, WorkloadSpec};
+use es2_workloads::NetperfSpec;
+
+fn main() {
+    let spec = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+    let params = Params::default();
+
+    println!("ES2 quickstart — 1-vCPU VM sending a 1024-byte TCP stream\n");
+    for cfg in [EventPathConfig::baseline(), EventPathConfig::pi_h_r(4)] {
+        let machine = Machine::new(cfg, Topology::micro(), spec, params, 42);
+        let r = machine.run();
+        println!("[{}]", r.config);
+        println!("  goodput            {:.2} Gb/s", r.goodput_gbps);
+        println!("  time in guest      {:.1} %", r.tig_percent);
+        println!("  VM exits           {:.0}/s total", r.total_exit_rate());
+        println!(
+            "    interrupt delivery {:.0}/s, completion {:.0}/s, I/O requests {:.0}/s",
+            r.rate(ExitReason::ExternalInterrupt),
+            r.rate(ExitReason::ApicAccess),
+            r.rate(ExitReason::IoInstruction),
+        );
+        println!();
+    }
+    println!(
+        "The full ES2 configuration posts interrupts in hardware (no delivery or\n\
+         EOI exits) and lets the vhost handler poll the TX queue under its quota\n\
+         (no I/O-instruction exits), so nearly all CPU time stays in the guest."
+    );
+}

@@ -1,0 +1,75 @@
+//! Quota tuning: reproduce the §VI-B methodology for selecting the hybrid
+//! handler's `poll_quota` on your own workload.
+//!
+//! ```text
+//! cargo run --release -p es2-testbed --example quota_tuning [msg_bytes]
+//! ```
+//!
+//! Sweeps the quota for a UDP send stream and prints, per value, the
+//! surviving I/O-instruction exit rate, the throughput, and the handler's
+//! polling/notification behaviour — the trade-off the paper weighs: *"A
+//! value too high may render ineffective polling while a value too low may
+//! lead to frequent switches among different handlers."*
+
+use es2_core::EventPathConfig;
+use es2_testbed::{Machine, Params, Topology, WorkloadSpec};
+use es2_workloads::NetperfSpec;
+
+fn main() {
+    let msg_bytes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let spec = WorkloadSpec::Netperf(NetperfSpec::udp_send(msg_bytes));
+    let params = Params::default();
+
+    println!("Quota sweep — UDP send, {msg_bytes}-byte datagrams\n");
+    println!(
+        "{:>6} {:>14} {:>12} {:>16}",
+        "quota", "IoReq exits/s", "Gb/s", "polling entries"
+    );
+    let baseline = Machine::new(EventPathConfig::pi(), Topology::micro(), spec, params, 11).run();
+    println!(
+        "{:>6} {:>14.0} {:>12.3} {:>16}",
+        "stock",
+        baseline.io_exit_rate(),
+        baseline.goodput_gbps,
+        "-"
+    );
+
+    let mut best: Option<(u32, f64)> = None;
+    for quota in [64u32, 32, 16, 8, 4, 2] {
+        let r = Machine::new(
+            EventPathConfig::pi_h(quota),
+            Topology::micro(),
+            spec,
+            params,
+            11,
+        )
+        .run();
+        println!(
+            "{:>6} {:>14.0} {:>12.3} {:>16}",
+            quota,
+            r.io_exit_rate(),
+            r.goodput_gbps,
+            r.polling_entries
+        );
+        let better = match best {
+            Some((_, g)) => r.goodput_gbps > g && r.io_exit_rate() < 1000.0,
+            None => r.io_exit_rate() < 1000.0,
+        };
+        if better {
+            best = Some((quota, r.goodput_gbps));
+        }
+    }
+    match best {
+        Some((q, _)) => println!(
+            "\nRecommended quota: {q} — the largest value whose exit rate is\n\
+             negligible while throughput has not yet paid the handler-switching\n\
+             overhead of smaller quotas. (The paper applies the same criterion\n\
+             to its testbed and lands on 8 for UDP; on this simulator's\n\
+             calibration the knee sits one step lower.)"
+        ),
+        None => println!("\nNo quota reached a negligible exit rate; stay in notification mode."),
+    }
+}
