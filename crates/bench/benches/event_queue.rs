@@ -1,0 +1,99 @@
+//! Event-queue micro-benchmarks: timer wheel vs a plain binary heap.
+//!
+//! Steady-state push/pop throughput at several queue depths, under two
+//! time distributions:
+//!
+//! * **uniform** — deltas spread evenly over ~100 µs, the shape of
+//!   ordinary packet/handler churn (everything lands in the wheel's
+//!   near-future ring);
+//! * **bimodal** — 95% sub-microsecond follow-ups plus 5% far timers at
+//!   ~40 ms (delayed-ACK/RTO scale), which exercises the wheel's
+//!   overflow heap and migration path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use es2_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const DEPTHS: [usize; 3] = [16, 1_024, 65_536];
+
+/// Next event delta for the uniform distribution.
+fn delta_uniform(rng: &mut SimRng) -> SimDuration {
+    SimDuration::from_nanos(rng.gen_range(100_000))
+}
+
+/// Next event delta for the bimodal near-burst / far-timer distribution.
+fn delta_bimodal(rng: &mut SimRng) -> SimDuration {
+    if rng.gen_range(100) < 95 {
+        SimDuration::from_nanos(rng.gen_range(1_000))
+    } else {
+        SimDuration::from_nanos(40_000_000 + rng.gen_range(4_000_000))
+    }
+}
+
+/// Steady-state churn through the wheel: prefill to `depth`, then one
+/// pop + one push per iteration (the hot pattern of the machine loop).
+fn churn_wheel(depth: usize, delta: fn(&mut SimRng) -> SimDuration, iters: u64) -> u64 {
+    let mut rng = SimRng::new(7);
+    let mut q = EventQueue::with_capacity(depth);
+    let mut now = SimTime::ZERO;
+    for i in 0..depth {
+        q.push(now + delta(&mut rng), i as u64);
+    }
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let (t, v) = q.pop().expect("queue stays at depth");
+        now = t;
+        acc = acc.wrapping_add(v);
+        q.push(now + delta(&mut rng), i);
+    }
+    acc
+}
+
+/// The same churn against a plain `BinaryHeap<Reverse<(SimTime, u64)>>`
+/// (what `EventQueue` used before the wheel).
+fn churn_heap(depth: usize, delta: fn(&mut SimRng) -> SimDuration, iters: u64) -> u64 {
+    let mut rng = SimRng::new(7);
+    let mut q: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::with_capacity(depth);
+    let mut now = SimTime::ZERO;
+    for i in 0..depth {
+        q.push(Reverse((now + delta(&mut rng), i as u64)));
+    }
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let Reverse((t, v)) = q.pop().expect("queue stays at depth");
+        now = t;
+        acc = acc.wrapping_add(v);
+        q.push(Reverse((now + delta(&mut rng), i)));
+    }
+    acc
+}
+
+fn bench_distribution(
+    c: &mut Criterion,
+    dist_name: &str,
+    delta: fn(&mut SimRng) -> SimDuration,
+) {
+    let mut g = c.benchmark_group(&format!("event_queue/{dist_name}"));
+    g.sample_size(10);
+    for depth in DEPTHS {
+        g.bench_function(&format!("wheel/depth={depth}"), |b| {
+            b.iter(|| black_box(churn_wheel(depth, delta, 10_000)))
+        });
+        g.bench_function(&format!("heap/depth={depth}"), |b| {
+            b.iter(|| black_box(churn_heap(depth, delta, 10_000)))
+        });
+    }
+    g.finish();
+}
+
+fn uniform(c: &mut Criterion) {
+    bench_distribution(c, "uniform", delta_uniform);
+}
+
+fn bimodal(c: &mut Criterion) {
+    bench_distribution(c, "bimodal", delta_bimodal);
+}
+
+criterion_group!(benches, uniform, bimodal);
+criterion_main!(benches);

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [all] [--fast]
+//! repro --perf [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
 //! absolute rates then drift a little but shapes hold.
+//!
+//! `--perf` runs the perf baseline instead: each figure sweep is timed
+//! serial vs parallel and the results land in `BENCH_sweeps.json`
+//! (wall-clock per figure, simulated events/sec, speedup). Thread count
+//! comes from `ES2_THREADS` (default: all cores).
 
 use es2_bench::*;
 use es2_sim::SimDuration;
@@ -14,6 +20,24 @@ use es2_testbed::Params;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+
+    if args.iter().any(|a| a == "--perf") {
+        let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        } else {
+            params.measure = SimDuration::from_millis(500);
+        }
+        let json = perf::perf_baseline_json(params, SEED, fast);
+        print!("{json}");
+        match std::fs::write("BENCH_sweeps.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_sweeps.json"),
+            Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
+        }
+        return;
+    }
+
     let mut what: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

@@ -6,6 +6,8 @@
 //! values the paper reports. The `repro` binary drives them; integration
 //! tests assert the *shapes* (who wins, by what factor).
 
+pub mod perf;
+
 use es2_hypervisor::ExitReason;
 use es2_metrics::table::{fmt_pct, fmt_rate};
 use es2_metrics::Table;
@@ -153,8 +155,7 @@ pub fn render_fig6(params: Params, seed: u64, sizes: &[u32]) -> String {
             label,
             &["msg bytes", "Baseline", "PI", "PI+H", "PI+H+R", "ES2/Base"],
         );
-        for &bytes in sizes {
-            let runs = experiments::fig6(send, bytes, params, seed);
+        for (bytes, runs) in experiments::fig6_sweep(send, sizes, params, seed) {
             let g: Vec<f64> = runs.iter().map(|r| r.goodput_gbps).collect();
             t.row(&[
                 bytes.to_string(),

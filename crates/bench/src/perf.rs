@@ -1,0 +1,212 @@
+//! Perf baseline harness: wall-clock timings for the figure sweeps.
+//!
+//! `repro --perf` runs a representative subset of the paper's sweeps
+//! twice — once forced serial (`es2_sim::exec::set_threads(Some(1))`) and
+//! once at the configured parallelism — and emits `BENCH_sweeps.json`
+//! with per-figure wall-clock, simulated events/sec, and the
+//! parallel-over-serial speedup. The JSON is hand-rolled (the container
+//! has no serde) but stable-keyed so downstream tooling can diff runs.
+
+use std::time::Instant;
+
+use es2_testbed::experiments::{self, RunSpec};
+use es2_testbed::{Params, RunResult, Topology};
+
+/// Timing for one named sweep.
+pub struct SweepTiming {
+    pub name: &'static str,
+    /// Independent simulation runs in the sweep.
+    pub runs: usize,
+    /// Total simulation events pushed across all runs.
+    pub events: u64,
+    pub serial_secs: f64,
+    pub parallel_secs: f64,
+}
+
+impl SweepTiming {
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+    pub fn events_per_sec_serial(&self) -> f64 {
+        self.events as f64 / self.serial_secs.max(1e-12)
+    }
+    pub fn events_per_sec_parallel(&self) -> f64 {
+        self.events as f64 / self.parallel_secs.max(1e-12)
+    }
+}
+
+fn specs_fig4(params: Params, seed: u64) -> Vec<RunSpec> {
+    use es2_core::EventPathConfig;
+    use es2_testbed::WorkloadSpec;
+    use es2_workloads::NetperfSpec;
+    let np = NetperfSpec::udp_send(256);
+    let mut specs = vec![RunSpec {
+        cfg: EventPathConfig::baseline(),
+        topo: Topology::micro(),
+        spec: WorkloadSpec::Netperf(np),
+        params,
+        seed,
+    }];
+    for quota in [64u32, 32, 16, 8, 4, 2] {
+        specs.push(RunSpec {
+            cfg: EventPathConfig::pi_h(quota),
+            topo: Topology::micro(),
+            spec: WorkloadSpec::Netperf(np),
+            params,
+            seed,
+        });
+    }
+    specs
+}
+
+fn specs_fig6(params: Params, seed: u64, sizes: &[u32]) -> Vec<RunSpec> {
+    use es2_core::{EventPathConfig, HybridParams};
+    use es2_testbed::WorkloadSpec;
+    use es2_workloads::NetperfSpec;
+    let mut specs = Vec::new();
+    for &bytes in sizes {
+        for cfg in EventPathConfig::all_four(HybridParams::TCP_QUOTA) {
+            specs.push(RunSpec {
+                cfg,
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Netperf(NetperfSpec::tcp_send(bytes).with_threads(4)),
+                params,
+                seed,
+            });
+        }
+    }
+    specs
+}
+
+fn specs_fig9(params: Params, seed: u64, rates: &[f64]) -> Vec<RunSpec> {
+    use es2_core::{EventPathConfig, HybridParams};
+    use es2_testbed::WorkloadSpec;
+    let mut specs = Vec::new();
+    for &rate in rates {
+        for cfg in EventPathConfig::all_four(HybridParams::TCP_QUOTA) {
+            specs.push(RunSpec {
+                cfg,
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Httperf { rate },
+                params,
+                seed,
+            });
+        }
+    }
+    specs
+}
+
+fn time_sweep(name: &'static str, specs: &[RunSpec]) -> SweepTiming {
+    // Serial reference first, then the parallel pass; results must match
+    // bitwise (the executor's whole contract) — events_simulated being
+    // equal is a cheap proxy asserted here on every perf run.
+    es2_sim::exec::set_threads(Some(1));
+    let t0 = Instant::now();
+    let serial: Vec<RunResult> = experiments::run_specs(specs);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    es2_sim::exec::set_threads(None);
+    let t0 = Instant::now();
+    let parallel: Vec<RunResult> = experiments::run_specs(specs);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+
+    let events: u64 = serial.iter().map(|r| r.events_simulated).sum();
+    let events_par: u64 = parallel.iter().map(|r| r.events_simulated).sum();
+    assert_eq!(
+        events, events_par,
+        "parallel sweep diverged from serial ({name})"
+    );
+
+    SweepTiming {
+        name,
+        runs: specs.len(),
+        events,
+        serial_secs,
+        parallel_secs,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Run the perf baseline and return the `BENCH_sweeps.json` content.
+///
+/// `fast` shrinks measurement windows and sweep widths so a CI smoke run
+/// finishes in seconds; absolute numbers then only compare against other
+/// fast runs.
+pub fn perf_baseline_json(params: Params, seed: u64, fast: bool) -> String {
+    let threads = es2_sim::exec::effective_threads(usize::MAX);
+    let (sizes, rates): (&[u32], &[f64]) = if fast {
+        (&[256, 1024], &[1000.0, 2200.0])
+    } else {
+        (&[256, 1024, 2048], &[1000.0, 1800.0, 2600.0])
+    };
+
+    let timings = [
+        time_sweep("fig4_udp_quota_sweep", &specs_fig4(params, seed)),
+        time_sweep("fig6_tcp_size_sweep", &specs_fig6(params, seed, sizes)),
+        time_sweep("fig9_httperf_rate_sweep", &specs_fig9(params, seed, rates)),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"repro --perf\",\n");
+    out.push_str(&format!("  \"fast\": {fast},\n"));
+    out.push_str(&format!("  \"worker_threads\": {threads},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", t.name));
+        out.push_str(&format!("      \"runs\": {},\n", t.runs));
+        out.push_str(&format!("      \"events_simulated\": {},\n", t.events));
+        out.push_str(&format!(
+            "      \"serial_wall_s\": {},\n",
+            json_f(t.serial_secs)
+        ));
+        out.push_str(&format!(
+            "      \"parallel_wall_s\": {},\n",
+            json_f(t.parallel_secs)
+        ));
+        out.push_str(&format!("      \"speedup\": {},\n", json_f(t.speedup())));
+        out.push_str(&format!(
+            "      \"events_per_sec_serial\": {},\n",
+            json_f(t.events_per_sec_serial())
+        ));
+        out.push_str(&format!(
+            "      \"events_per_sec_parallel\": {}\n",
+            json_f(t.events_per_sec_parallel())
+        ));
+        out.push_str(if i + 1 < timings.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let tot_serial: f64 = timings.iter().map(|t| t.serial_secs).sum();
+    let tot_parallel: f64 = timings.iter().map(|t| t.parallel_secs).sum();
+    let tot_events: u64 = timings.iter().map(|t| t.events).sum();
+    out.push_str("  \"totals\": {\n");
+    out.push_str(&format!("    \"events_simulated\": {tot_events},\n"));
+    out.push_str(&format!(
+        "    \"serial_wall_s\": {},\n",
+        json_f(tot_serial)
+    ));
+    out.push_str(&format!(
+        "    \"parallel_wall_s\": {},\n",
+        json_f(tot_parallel)
+    ));
+    out.push_str(&format!(
+        "    \"speedup\": {}\n",
+        json_f(tot_serial / tot_parallel.max(1e-12))
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

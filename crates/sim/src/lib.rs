@@ -36,6 +36,7 @@
 //! 3. iteration over collections with nondeterministic order is forbidden in
 //!    simulation logic (we use index-based arenas everywhere).
 
+pub mod exec;
 pub mod queue;
 pub mod rng;
 pub mod time;

@@ -2,6 +2,12 @@
 //!
 //! Each function is deterministic in its seed and returns the measured
 //! series; the `es2-bench` crate renders them next to the paper's numbers.
+//!
+//! Every multi-run sweep goes through [`run_specs`], which fans the
+//! independent runs across worker threads via [`es2_sim::exec::sweep`].
+//! A run is a pure function of its [`RunSpec`] and results come back in
+//! input order, so the output is bitwise identical to the serial sweep at
+//! any thread count (`ES2_THREADS=1` forces serial).
 
 use es2_core::{EventPathConfig, HybridParams};
 use es2_workloads::NetperfSpec;
@@ -11,6 +17,31 @@ use crate::params::Params;
 use crate::results::RunResult;
 use crate::workload::WorkloadSpec;
 
+/// A fully specified independent simulation run: the unit of work the
+/// parallel sweep executor schedules. The run's outcome is a pure
+/// function of this value.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    pub cfg: EventPathConfig,
+    pub topo: Topology,
+    pub spec: WorkloadSpec,
+    pub params: Params,
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Execute the run to completion.
+    pub fn run(&self) -> RunResult {
+        Machine::new(self.cfg, self.topo, self.spec, self.params, self.seed).run()
+    }
+}
+
+/// Run every spec, in parallel across available cores, returning results
+/// in input order (bitwise identical to running them serially).
+pub fn run_specs(specs: &[RunSpec]) -> Vec<RunResult> {
+    es2_sim::exec::sweep(specs, RunSpec::run)
+}
+
 /// Run one configuration of one workload on a topology.
 pub fn run_one(
     cfg: EventPathConfig,
@@ -19,16 +50,30 @@ pub fn run_one(
     params: Params,
     seed: u64,
 ) -> RunResult {
-    Machine::new(cfg, topo, spec, params, seed).run()
+    RunSpec {
+        cfg,
+        topo,
+        spec,
+        params,
+        seed,
+    }
+    .run()
 }
 
 /// Table I: VM-exit cause breakdown for 1-vCPU TCP send, Baseline vs PI.
 pub fn table1(params: Params, seed: u64) -> Vec<RunResult> {
     let spec = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
-    [EventPathConfig::baseline(), EventPathConfig::pi()]
+    let specs: Vec<RunSpec> = [EventPathConfig::baseline(), EventPathConfig::pi()]
         .into_iter()
-        .map(|cfg| run_one(cfg, Topology::micro(), spec, params, seed))
-        .collect()
+        .map(|cfg| RunSpec {
+            cfg,
+            topo: Topology::micro(),
+            spec,
+            params,
+            seed,
+        })
+        .collect();
+    run_specs(&specs)
 }
 
 /// One Fig. 4 point: I/O-instruction exit rate under PI+H with a quota.
@@ -65,24 +110,26 @@ pub fn fig4(
     } else {
         NetperfSpec::tcp_send(msg_bytes)
     };
-    let mut out = Vec::new();
-    out.push((
-        "baseline".to_string(),
-        run_one(
-            EventPathConfig::baseline(),
-            Topology::micro(),
-            WorkloadSpec::Netperf(np),
+    let quotas = [64u32, 32, 16, 8, 4, 2];
+    let mut labels = vec!["baseline".to_string()];
+    let mut specs = vec![RunSpec {
+        cfg: EventPathConfig::baseline(),
+        topo: Topology::micro(),
+        spec: WorkloadSpec::Netperf(np),
+        params,
+        seed,
+    }];
+    for quota in quotas {
+        labels.push(format!("quota={quota}"));
+        specs.push(RunSpec {
+            cfg: EventPathConfig::pi_h(quota),
+            topo: Topology::micro(),
+            spec: WorkloadSpec::Netperf(np),
             params,
             seed,
-        ),
-    ));
-    for quota in [64u32, 32, 16, 8, 4, 2] {
-        out.push((
-            format!("quota={quota}"),
-            fig4_point(proto_udp, msg_bytes, quota, params, seed),
-        ));
+        });
     }
-    out
+    labels.into_iter().zip(run_specs(&specs)).collect()
 }
 
 /// Fig. 5: exit breakdown + TIG for send/receive TCP/UDP under
@@ -99,22 +146,21 @@ pub fn fig5(send: bool, udp: bool, params: Params, seed: u64) -> Vec<RunResult> 
         (false, false) => NetperfSpec::tcp_receive(1024),
         (false, true) => NetperfSpec::udp_receive(1024),
     };
-    [
+    let specs: Vec<RunSpec> = [
         EventPathConfig::baseline(),
         EventPathConfig::pi(),
         EventPathConfig::pi_h(quota),
     ]
     .into_iter()
-    .map(|cfg| {
-        run_one(
-            cfg,
-            Topology::micro(),
-            WorkloadSpec::Netperf(np),
-            params,
-            seed,
-        )
+    .map(|cfg| RunSpec {
+        cfg,
+        topo: Topology::micro(),
+        spec: WorkloadSpec::Netperf(np),
+        params,
+        seed,
     })
-    .collect()
+    .collect();
+    run_specs(&specs)
 }
 
 /// The four configurations at the paper's TCP quota, multiplexed topology.
@@ -129,93 +175,119 @@ pub fn fig6(send: bool, msg_bytes: u32, params: Params, seed: u64) -> Vec<RunRes
     } else {
         NetperfSpec::tcp_receive(msg_bytes)
     };
-    four_configs()
+    let specs: Vec<RunSpec> = four_configs()
         .into_iter()
-        .map(|cfg| {
-            run_one(
+        .map(|cfg| RunSpec {
+            cfg,
+            topo: Topology::multiplexed(),
+            spec: WorkloadSpec::Netperf(np),
+            params,
+            seed,
+        })
+        .collect();
+    run_specs(&specs)
+}
+
+/// Fig. 6 over a packet-size sweep: all `sizes.len() × 4` runs are
+/// submitted to the executor as one batch so they parallelize across
+/// sizes, not just configurations. Returns `(msg_bytes, four results)`
+/// per size, identical to calling [`fig6`] per size.
+pub fn fig6_sweep(send: bool, sizes: &[u32], params: Params, seed: u64) -> Vec<(u32, Vec<RunResult>)> {
+    let mut specs = Vec::with_capacity(sizes.len() * 4);
+    for &msg_bytes in sizes {
+        let np = if send {
+            NetperfSpec::tcp_send(msg_bytes).with_threads(4)
+        } else {
+            NetperfSpec::tcp_receive(msg_bytes)
+        };
+        for cfg in four_configs() {
+            specs.push(RunSpec {
                 cfg,
-                Topology::multiplexed(),
-                WorkloadSpec::Netperf(np),
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Netperf(np),
                 params,
                 seed,
-            )
-        })
+            });
+        }
+    }
+    let mut results = run_specs(&specs).into_iter();
+    sizes
+        .iter()
+        .map(|&sz| (sz, results.by_ref().take(4).collect()))
         .collect()
 }
 
 /// Fig. 7: ping RTT under core multiplexing (Baseline, PI, PI+H+R — the
 /// paper omits PI+H as polling has no effect on low-rate ping).
 pub fn fig7(params: Params, seed: u64) -> Vec<RunResult> {
-    [
+    let specs: Vec<RunSpec> = [
         EventPathConfig::baseline(),
         EventPathConfig::pi(),
         EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
     ]
     .into_iter()
-    .map(|cfg| {
-        run_one(
-            cfg,
-            Topology::multiplexed(),
-            WorkloadSpec::Ping,
-            params,
-            seed,
-        )
+    .map(|cfg| RunSpec {
+        cfg,
+        topo: Topology::multiplexed(),
+        spec: WorkloadSpec::Ping,
+        params,
+        seed,
     })
-    .collect()
+    .collect();
+    run_specs(&specs)
 }
 
 /// Fig. 8a: Memcached throughput, four configurations.
 pub fn fig8_memcached(params: Params, seed: u64) -> Vec<RunResult> {
-    four_configs()
+    let specs: Vec<RunSpec> = four_configs()
         .into_iter()
-        .map(|cfg| {
-            run_one(
-                cfg,
-                Topology::multiplexed(),
-                WorkloadSpec::Memcached,
-                params,
-                seed,
-            )
+        .map(|cfg| RunSpec {
+            cfg,
+            topo: Topology::multiplexed(),
+            spec: WorkloadSpec::Memcached,
+            params,
+            seed,
         })
-        .collect()
+        .collect();
+    run_specs(&specs)
 }
 
 /// Fig. 8b: Apache throughput, four configurations.
 pub fn fig8_apache(params: Params, seed: u64) -> Vec<RunResult> {
-    four_configs()
+    let specs: Vec<RunSpec> = four_configs()
         .into_iter()
-        .map(|cfg| {
-            run_one(
-                cfg,
-                Topology::multiplexed(),
-                WorkloadSpec::Apache,
-                params,
-                seed,
-            )
+        .map(|cfg| RunSpec {
+            cfg,
+            topo: Topology::multiplexed(),
+            spec: WorkloadSpec::Apache,
+            params,
+            seed,
         })
-        .collect()
+        .collect();
+    run_specs(&specs)
 }
 
 /// Fig. 9: httperf mean connection time vs request rate, four
 /// configurations.
 pub fn fig9(rates: &[f64], params: Params, seed: u64) -> Vec<(f64, Vec<RunResult>)> {
+    // Flatten rates × configurations into one batch so the executor
+    // balances across all of them, then regroup per rate.
+    let mut specs = Vec::with_capacity(rates.len() * 4);
+    for &rate in rates {
+        for cfg in four_configs() {
+            specs.push(RunSpec {
+                cfg,
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Httperf { rate },
+                params,
+                seed,
+            });
+        }
+    }
+    let mut results = run_specs(&specs).into_iter();
     rates
         .iter()
-        .map(|&rate| {
-            let runs = four_configs()
-                .into_iter()
-                .map(|cfg| {
-                    run_one(
-                        cfg,
-                        Topology::multiplexed(),
-                        WorkloadSpec::Httperf { rate },
-                        params,
-                        seed,
-                    )
-                })
-                .collect();
-            (rate, runs)
-        })
+        .map(|&rate| (rate, results.by_ref().take(4).collect()))
         .collect()
 }
 
@@ -235,30 +307,44 @@ pub fn fig9(rates: &[f64], params: Params, seed: u64) -> Vec<(f64, Vec<RunResult
 pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResult)> {
     let mut p = params;
     p.device = crate::params::DeviceKind::AssignedVf;
+    let mut ping_p = p;
+    ping_p.measure = ping_p.measure.max(es2_sim::SimDuration::from_secs(8));
     let send = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
-    [
+    let rows = [
         ("SR-IOV legacy", EventPathConfig::baseline()),
         ("SR-IOV + VT-d PI", EventPathConfig::pi()),
         (
             "SR-IOV + VT-d PI + R",
             EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
         ),
-    ]
-    .into_iter()
-    .map(|(label, cfg)| {
-        let micro = run_one(cfg, Topology::micro(), send, p, seed);
-        let mut ping_p = p;
-        ping_p.measure = ping_p.measure.max(es2_sim::SimDuration::from_secs(8));
-        let ping = run_one(
+    ];
+    // Two runs per row (micro exit-rate check, multiplexed ping check),
+    // flattened into one batch of six.
+    let mut specs = Vec::with_capacity(rows.len() * 2);
+    for (_, cfg) in rows {
+        specs.push(RunSpec {
             cfg,
-            Topology::multiplexed(),
-            WorkloadSpec::Ping,
-            ping_p,
+            topo: Topology::micro(),
+            spec: send,
+            params: p,
             seed,
-        );
-        (label, micro, ping)
-    })
-    .collect()
+        });
+        specs.push(RunSpec {
+            cfg,
+            topo: Topology::multiplexed(),
+            spec: WorkloadSpec::Ping,
+            params: ping_p,
+            seed,
+        });
+    }
+    let mut results = run_specs(&specs).into_iter();
+    rows.into_iter()
+        .map(|(label, _)| {
+            let micro = results.next().expect("one micro run per row");
+            let ping = results.next().expect("one ping run per row");
+            (label, micro, ping)
+        })
+        .collect()
 }
 
 /// Ablation: redirection target-selection policies under the ping
@@ -274,22 +360,24 @@ pub fn ablation_target_policy(params: Params, seed: u64) -> Vec<(&'static str, R
         ("random online", TargetPolicy::Random),
         ("first online", TargetPolicy::FirstOnline),
     ];
-    policies
-        .into_iter()
-        .map(|(label, tp)| {
+    let specs: Vec<RunSpec> = policies
+        .iter()
+        .map(|&(_, tp)| {
             let mut p = params;
             p.redirect_policies = Some((tp, OfflinePolicy::Head));
-            (
-                label,
-                run_one(
-                    EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
-                    Topology::multiplexed(),
-                    WorkloadSpec::Ping,
-                    p,
-                    seed,
-                ),
-            )
+            RunSpec {
+                cfg: EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Ping,
+                params: p,
+                seed,
+            }
         })
+        .collect();
+    policies
+        .into_iter()
+        .map(|(label, _)| label)
+        .zip(run_specs(&specs))
         .collect()
 }
 
@@ -302,43 +390,41 @@ pub fn ablation_offline_policy(params: Params, seed: u64) -> Vec<(&'static str, 
         ("tail: most recently offline", OfflinePolicy::Tail),
         ("keep affinity", OfflinePolicy::KeepAffinity),
     ];
-    policies
-        .into_iter()
-        .map(|(label, op)| {
+    let specs: Vec<RunSpec> = policies
+        .iter()
+        .map(|&(_, op)| {
             let mut p = params;
             p.redirect_policies = Some((TargetPolicy::LeastLoadedSticky, op));
-            (
-                label,
-                run_one(
-                    EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
-                    Topology::multiplexed(),
-                    WorkloadSpec::Ping,
-                    p,
-                    seed,
-                ),
-            )
+            RunSpec {
+                cfg: EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+                topo: Topology::multiplexed(),
+                spec: WorkloadSpec::Ping,
+                params: p,
+                seed,
+            }
         })
+        .collect();
+    policies
+        .into_iter()
+        .map(|(label, _)| label)
+        .zip(run_specs(&specs))
         .collect()
 }
 
 /// Ablation: quota sensitivity for the macro Memcached workload (the
 /// DESIGN.md "quota beyond Fig. 4" item).
 pub fn ablation_mc_quota(params: Params, seed: u64, quotas: &[u32]) -> Vec<(u32, RunResult)> {
-    quotas
+    let specs: Vec<RunSpec> = quotas
         .iter()
-        .map(|&q| {
-            (
-                q,
-                run_one(
-                    EventPathConfig::pi_h_r(q),
-                    Topology::multiplexed(),
-                    WorkloadSpec::Memcached,
-                    params,
-                    seed,
-                ),
-            )
+        .map(|&q| RunSpec {
+            cfg: EventPathConfig::pi_h_r(q),
+            topo: Topology::multiplexed(),
+            spec: WorkloadSpec::Memcached,
+            params,
+            seed,
         })
-        .collect()
+        .collect();
+    quotas.iter().copied().zip(run_specs(&specs)).collect()
 }
 
 /// The vCPU-stacking statistic motivating §IV-C: fraction of ping probes
@@ -361,6 +447,11 @@ pub fn stacking_probability_on(topo: Topology, params: Params, seed: u64) -> f64
         params,
         seed,
     );
+    offline_fraction(&r)
+}
+
+/// Fraction of routed interrupts that found every tested-VM vCPU offline.
+fn offline_fraction(r: &RunResult) -> f64 {
     let total = r.redirections + r.offline_predictions;
     if total == 0 {
         0.0
@@ -373,14 +464,20 @@ pub fn stacking_probability_on(topo: Topology, params: Params, seed: u64) -> f64
 /// four-vCPU VMs on four cores) — the denser the stacking, the more often
 /// the offline-list prediction is what saves an interrupt's latency.
 pub fn stacking_sweep(params: Params, seed: u64) -> Vec<(u32, f64)> {
-    (1..=4)
-        .map(|n| {
-            let topo = Topology {
+    let specs: Vec<RunSpec> = (1..=4)
+        .map(|n| RunSpec {
+            cfg: EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+            topo: Topology {
                 num_vms: n,
                 vcpus_per_vm: 4,
-            };
-            (n, stacking_probability_on(topo, params, seed))
+            },
+            spec: WorkloadSpec::Ping,
+            params,
+            seed,
         })
+        .collect();
+    (1..=4)
+        .zip(run_specs(&specs).iter().map(offline_fraction))
         .collect()
 }
 

@@ -275,6 +275,11 @@ pub struct Machine {
     pub(crate) router: Option<Es2Router>,
     pub(crate) window_open: bool,
     pub(crate) end_time: SimTime,
+    /// Reusable routing scratch (vCPU online flags), refilled per MSI so
+    /// the delivery hot path never allocates.
+    route_online: Vec<bool>,
+    /// Reusable routing scratch (per-vCPU interrupt load).
+    route_load: Vec<u64>,
 }
 
 impl Machine {
@@ -431,7 +436,7 @@ impl Machine {
             topo,
             specs,
             now: SimTime::ZERO,
-            q: EventQueue::with_capacity(1 << 16),
+            q: EventQueue::with_capacity(params.event_capacity_hint(topo.num_vms, topo.vcpus_per_vm)),
             rng,
             sched,
             threads,
@@ -443,6 +448,8 @@ impl Machine {
             router,
             window_open: false,
             end_time,
+            route_online: Vec::with_capacity(topo.vcpus_per_vm as usize),
+            route_load: Vec::with_capacity(topo.vcpus_per_vm as usize),
         };
         m.bootstrap();
         m
@@ -906,43 +913,27 @@ impl Machine {
     /// Route a device MSI through the configured router and deliver it.
     pub(crate) fn deliver_device_msi(&mut self, vm: u32, vector: Vector) {
         let affinity = self.vms[vm as usize].affinity_vcpu;
+        // Refill the reusable scratch buffers instead of allocating fresh
+        // snapshot vectors per MSI — this path fires once per device
+        // interrupt and dominated the allocator profile.
+        let want_load = self.router.is_some();
+        self.route_online.clear();
+        self.route_load.clear();
+        for v in &self.vms[vm as usize].vcpus {
+            self.route_online.push(v.running);
+            self.route_load
+                .push(if want_load { v.interrupts_handled() } else { 0 });
+        }
+        let msg = es2_apic::MsiMessage::fixed(affinity as u8, vector);
+        let ctx = RouteCtx {
+            vm: VmId(vm),
+            num_vcpus: self.topo.vcpus_per_vm,
+            online: &self.route_online,
+            irq_load: &self.route_load,
+        };
         let target = match &mut self.router {
-            Some(r) => {
-                let online: Vec<bool> = self.vms[vm as usize]
-                    .vcpus
-                    .iter()
-                    .map(|v| v.running)
-                    .collect();
-                let load: Vec<u64> = self.vms[vm as usize]
-                    .vcpus
-                    .iter()
-                    .map(|v| v.interrupts_handled())
-                    .collect();
-                let msg = es2_apic::MsiMessage::fixed(affinity as u8, vector);
-                let ctx = RouteCtx {
-                    vm: VmId(vm),
-                    num_vcpus: self.topo.vcpus_per_vm,
-                    online: &online,
-                    irq_load: &load,
-                };
-                r.route(&msg, &ctx).idx
-            }
-            None => {
-                let online: Vec<bool> = self.vms[vm as usize]
-                    .vcpus
-                    .iter()
-                    .map(|v| v.running)
-                    .collect();
-                let load = vec![0u64; online.len()];
-                let msg = es2_apic::MsiMessage::fixed(affinity as u8, vector);
-                let ctx = RouteCtx {
-                    vm: VmId(vm),
-                    num_vcpus: self.topo.vcpus_per_vm,
-                    online: &online,
-                    irq_load: &load,
-                };
-                AffinityRouter.route(&msg, &ctx).idx
-            }
+            Some(r) => r.route(&msg, &ctx).idx,
+            None => AffinityRouter.route(&msg, &ctx).idx,
         };
         if self.cfg.redirect && !self.vms[vm as usize].vcpus[target as usize].running {
             // Offline prediction: remember the parked interrupt so it can

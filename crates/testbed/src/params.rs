@@ -237,6 +237,19 @@ impl Params {
         }
     }
 
+    /// Pending-event capacity hint for a machine's event queue, derived
+    /// from the sources of concurrently scheduled events: per-core tick
+    /// chains, per-vCPU guest timers, and in-flight ring/backlog entries
+    /// (each can carry a wire or completion event). Sizing the queue from
+    /// the topology instead of a fixed constant keeps micro runs lean and
+    /// avoids regrowth in wide multiplexed runs.
+    pub fn event_capacity_hint(&self, num_vms: u32, vcpus_per_vm: u32) -> usize {
+        let timers = (self.num_cores + num_vms * vcpus_per_vm) as usize;
+        let inflight =
+            2 * self.ring_size as usize * num_vms as usize + self.host_backlog;
+        (timers + inflight + 64).next_power_of_two()
+    }
+
     /// Size-dependent cost helper: `base + ns_per_kb · bytes / 1024`.
     pub fn size_cost(base: SimDuration, ns_per_kb: u64, bytes: u32) -> SimDuration {
         base + SimDuration::from_nanos(ns_per_kb * bytes as u64 / 1024)

@@ -52,6 +52,9 @@ pub struct RunResult {
     pub mean_rx_latency_us: f64,
     /// Maximum observed one-way receive latency, in microseconds.
     pub max_rx_latency_us: f64,
+    /// Total events the run pushed through the simulation queue
+    /// (lifetime; the denominator for events/sec perf reporting).
+    pub events_simulated: u64,
 }
 
 impl RunResult {
@@ -183,6 +186,7 @@ impl RunResult {
             migrated_irqs: vm0.migrated_count,
             mean_rx_latency_us: vm0.rx_latency.mean(),
             max_rx_latency_us: vm0.rx_latency.max(),
+            events_simulated: m.q.pushed_total(),
         }
     }
 }

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_apic-39d3a969b7a46898.d: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/debug/deps/es2_apic-39d3a969b7a46898: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+crates/apic/src/lib.rs:
+crates/apic/src/lapic.rs:
+crates/apic/src/msi.rs:
+crates/apic/src/pi.rs:
+crates/apic/src/regs.rs:
+crates/apic/src/vectors.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_apic-43a90f21fbff3301.d: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/debug/deps/libes2_apic-43a90f21fbff3301.rlib: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/debug/deps/libes2_apic-43a90f21fbff3301.rmeta: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+crates/apic/src/lib.rs:
+crates/apic/src/lapic.rs:
+crates/apic/src/msi.rs:
+crates/apic/src/pi.rs:
+crates/apic/src/regs.rs:
+crates/apic/src/vectors.rs:

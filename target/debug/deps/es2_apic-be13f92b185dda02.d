@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_apic-be13f92b185dda02.d: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_apic-be13f92b185dda02.rmeta: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs Cargo.toml
+
+crates/apic/src/lib.rs:
+crates/apic/src/lapic.rs:
+crates/apic/src/msi.rs:
+crates/apic/src/pi.rs:
+crates/apic/src/regs.rs:
+crates/apic/src/vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

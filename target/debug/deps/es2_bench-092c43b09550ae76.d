@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/es2_bench-092c43b09550ae76.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/es2_bench-092c43b09550ae76: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/es2_bench-3bee08416dd65374.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/libes2_bench-3bee08416dd65374.rlib: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/debug/deps/libes2_bench-3bee08416dd65374.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_bench-6dc1f35fd343a12d.d: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_bench-6dc1f35fd343a12d.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

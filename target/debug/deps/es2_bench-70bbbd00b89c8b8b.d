@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_bench-70bbbd00b89c8b8b.d: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_bench-70bbbd00b89c8b8b.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

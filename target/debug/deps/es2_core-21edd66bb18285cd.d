@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_core-21edd66bb18285cd.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+/root/repo/target/debug/deps/libes2_core-21edd66bb18285cd.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+/root/repo/target/debug/deps/libes2_core-21edd66bb18285cd.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eli.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/redirect.rs:
+crates/core/src/router.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_core-4989aa7f9d6497b9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_core-4989aa7f9d6497b9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eli.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/redirect.rs:
+crates/core/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

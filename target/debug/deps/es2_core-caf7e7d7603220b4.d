@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_core-caf7e7d7603220b4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_core-caf7e7d7603220b4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eli.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/redirect.rs:
+crates/core/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

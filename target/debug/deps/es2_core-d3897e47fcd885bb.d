@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_core-d3897e47fcd885bb.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+/root/repo/target/debug/deps/es2_core-d3897e47fcd885bb: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eli.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/redirect.rs:
+crates/core/src/router.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_hypervisor-6c42b2a722abcde8.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+/root/repo/target/debug/deps/libes2_hypervisor-6c42b2a722abcde8.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+/root/repo/target/debug/deps/libes2_hypervisor-6c42b2a722abcde8.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/exit.rs:
+crates/hypervisor/src/router.rs:
+crates/hypervisor/src/vcpu.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/es2_hypervisor-6df0537c166c9481.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+/root/repo/target/debug/deps/es2_hypervisor-6df0537c166c9481: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/exit.rs:
+crates/hypervisor/src/router.rs:
+crates/hypervisor/src/vcpu.rs:

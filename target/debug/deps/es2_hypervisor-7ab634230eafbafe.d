@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_hypervisor-7ab634230eafbafe.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_hypervisor-7ab634230eafbafe.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs Cargo.toml
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/exit.rs:
+crates/hypervisor/src/router.rs:
+crates/hypervisor/src/vcpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

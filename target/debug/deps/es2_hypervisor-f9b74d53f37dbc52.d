@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_hypervisor-f9b74d53f37dbc52.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_hypervisor-f9b74d53f37dbc52.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs Cargo.toml
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/exit.rs:
+crates/hypervisor/src/router.rs:
+crates/hypervisor/src/vcpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/es2_metrics-31f29d5d463cfc4a.d: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libes2_metrics-31f29d5d463cfc4a.rlib: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libes2_metrics-31f29d5d463cfc4a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counter.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/tig.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es2_metrics-40fed2da4feb3b09.d: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/es2_metrics-40fed2da4feb3b09: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counter.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/tig.rs:
+crates/metrics/src/timeseries.rs:

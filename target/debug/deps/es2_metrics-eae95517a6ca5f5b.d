@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/es2_metrics-eae95517a6ca5f5b.d: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_metrics-eae95517a6ca5f5b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counter.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/tig.rs:
+crates/metrics/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

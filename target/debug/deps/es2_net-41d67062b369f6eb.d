@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_net-41d67062b369f6eb.d: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/es2_net-41d67062b369f6eb: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/nic.rs:
+crates/net/src/packet.rs:
+crates/net/src/tcp.rs:
+crates/net/src/udp.rs:
+crates/net/src/wire.rs:

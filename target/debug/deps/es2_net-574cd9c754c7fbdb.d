@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_net-574cd9c754c7fbdb.d: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_net-574cd9c754c7fbdb.rmeta: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/nic.rs:
+crates/net/src/packet.rs:
+crates/net/src/tcp.rs:
+crates/net/src/udp.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

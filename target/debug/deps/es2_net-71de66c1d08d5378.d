@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_net-71de66c1d08d5378.d: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libes2_net-71de66c1d08d5378.rlib: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libes2_net-71de66c1d08d5378.rmeta: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/nic.rs:
+crates/net/src/packet.rs:
+crates/net/src/tcp.rs:
+crates/net/src/udp.rs:
+crates/net/src/wire.rs:

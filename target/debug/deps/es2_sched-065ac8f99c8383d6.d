@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/es2_sched-065ac8f99c8383d6.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/debug/deps/es2_sched-065ac8f99c8383d6: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:

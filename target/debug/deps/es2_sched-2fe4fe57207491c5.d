@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_sched-2fe4fe57207491c5.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_sched-2fe4fe57207491c5.rmeta: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

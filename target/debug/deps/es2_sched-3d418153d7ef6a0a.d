@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_sched-3d418153d7ef6a0a.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_sched-3d418153d7ef6a0a.rmeta: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

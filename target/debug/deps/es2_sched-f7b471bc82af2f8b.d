@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_sched-f7b471bc82af2f8b.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/debug/deps/libes2_sched-f7b471bc82af2f8b.rlib: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/debug/deps/libes2_sched-f7b471bc82af2f8b.rmeta: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/es2_sim-5308a587c63fe2bb.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_sim-5308a587c63fe2bb.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/token.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/es2_sim-9ae75a06899338b9.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libes2_sim-9ae75a06899338b9.rlib: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libes2_sim-9ae75a06899338b9.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/token.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/es2_sim-e3e36b9bb8b5b834.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_sim-e3e36b9bb8b5b834.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/token.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

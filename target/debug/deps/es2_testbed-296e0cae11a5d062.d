@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/es2_testbed-296e0cae11a5d062.d: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_testbed-296e0cae11a5d062.rmeta: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs Cargo.toml
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/experiments.rs:
+crates/testbed/src/external.rs:
+crates/testbed/src/guest.rs:
+crates/testbed/src/host.rs:
+crates/testbed/src/machine.rs:
+crates/testbed/src/params.rs:
+crates/testbed/src/results.rs:
+crates/testbed/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

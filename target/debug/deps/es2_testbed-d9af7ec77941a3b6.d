@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/es2_testbed-d9af7ec77941a3b6.d: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+/root/repo/target/debug/deps/es2_testbed-d9af7ec77941a3b6: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/experiments.rs:
+crates/testbed/src/external.rs:
+crates/testbed/src/guest.rs:
+crates/testbed/src/host.rs:
+crates/testbed/src/machine.rs:
+crates/testbed/src/params.rs:
+crates/testbed/src/results.rs:
+crates/testbed/src/workload.rs:

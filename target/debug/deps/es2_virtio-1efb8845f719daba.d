@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es2_virtio-1efb8845f719daba.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_virtio-1efb8845f719daba.rmeta: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs Cargo.toml
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es2_virtio-36935adb9695c624.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/debug/deps/libes2_virtio-36935adb9695c624.rlib: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/debug/deps/libes2_virtio-36935adb9695c624.rmeta: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es2_virtio-397890086dfb86fb.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_virtio-397890086dfb86fb.rmeta: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs Cargo.toml
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/es2_virtio-94f248c365db6aab.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/debug/deps/es2_virtio-94f248c365db6aab: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:

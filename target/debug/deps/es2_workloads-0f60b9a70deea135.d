@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es2_workloads-0f60b9a70deea135.d: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+/root/repo/target/debug/deps/es2_workloads-0f60b9a70deea135: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apachebench.rs:
+crates/workloads/src/httperf.rs:
+crates/workloads/src/memaslap.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/ping.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_workloads-12efa108980585d6.d: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_workloads-12efa108980585d6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apachebench.rs:
+crates/workloads/src/httperf.rs:
+crates/workloads/src/memaslap.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/ping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es2_workloads-83f4927a4750d9e6.d: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes2_workloads-83f4927a4750d9e6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apachebench.rs:
+crates/workloads/src/httperf.rs:
+crates/workloads/src/memaslap.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/ping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

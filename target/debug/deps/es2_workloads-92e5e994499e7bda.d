@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es2_workloads-92e5e994499e7bda.d: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+/root/repo/target/debug/deps/libes2_workloads-92e5e994499e7bda.rlib: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+/root/repo/target/debug/deps/libes2_workloads-92e5e994499e7bda.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apachebench.rs:
+crates/workloads/src/httperf.rs:
+crates/workloads/src/memaslap.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/ping.rs:

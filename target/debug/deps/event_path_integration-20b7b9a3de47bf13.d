@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_path_integration-20b7b9a3de47bf13.d: crates/core/tests/event_path_integration.rs
+
+/root/repo/target/debug/deps/event_path_integration-20b7b9a3de47bf13: crates/core/tests/event_path_integration.rs
+
+crates/core/tests/event_path_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_path_integration-eb889e5d1ba5fe5e.d: crates/core/tests/event_path_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_path_integration-eb889e5d1ba5fe5e.rmeta: crates/core/tests/event_path_integration.rs Cargo.toml
+
+crates/core/tests/event_path_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

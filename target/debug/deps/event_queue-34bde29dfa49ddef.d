@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_queue-34bde29dfa49ddef.d: crates/bench/benches/event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_queue-34bde29dfa49ddef.rmeta: crates/bench/benches/event_queue.rs Cargo.toml
+
+crates/bench/benches/event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-4155b39c01b07c7a.d: crates/testbed/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-4155b39c01b07c7a: crates/testbed/tests/invariants.rs
+
+crates/testbed/tests/invariants.rs:

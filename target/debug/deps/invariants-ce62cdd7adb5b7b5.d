@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-ce62cdd7adb5b7b5.d: crates/testbed/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-ce62cdd7adb5b7b5.rmeta: crates/testbed/tests/invariants.rs Cargo.toml
+
+crates/testbed/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-ee4d87af20e9aee1.d: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-ee4d87af20e9aee1.rmeta: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+crates/bench/benches/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

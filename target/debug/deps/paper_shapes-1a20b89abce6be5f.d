@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-1a20b89abce6be5f.d: crates/testbed/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-1a20b89abce6be5f: crates/testbed/tests/paper_shapes.rs
+
+crates/testbed/tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-2f566d47e33bb984.d: crates/testbed/tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-2f566d47e33bb984.rmeta: crates/testbed/tests/paper_shapes.rs Cargo.toml
+
+crates/testbed/tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

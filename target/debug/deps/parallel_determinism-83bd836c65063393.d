@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-83bd836c65063393.d: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-83bd836c65063393.rmeta: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+crates/bench/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

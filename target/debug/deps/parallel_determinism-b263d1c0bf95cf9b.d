@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-b263d1c0bf95cf9b.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-b263d1c0bf95cf9b: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-554a34a9953d812b.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-554a34a9953d812b: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

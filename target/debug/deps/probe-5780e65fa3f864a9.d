@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-5780e65fa3f864a9.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-5780e65fa3f864a9: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

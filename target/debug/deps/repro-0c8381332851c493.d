@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0c8381332851c493.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0c8381332851c493: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

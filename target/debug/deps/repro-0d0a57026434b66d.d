@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0d0a57026434b66d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0d0a57026434b66d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/event_path_anatomy-4ddd8a968e913421.d: crates/testbed/../../examples/event_path_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevent_path_anatomy-4ddd8a968e913421.rmeta: crates/testbed/../../examples/event_path_anatomy.rs Cargo.toml
+
+crates/testbed/../../examples/event_path_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_path_anatomy-a5e951523f3a4d5d.d: crates/testbed/../../examples/event_path_anatomy.rs
+
+/root/repo/target/debug/examples/event_path_anatomy-a5e951523f3a4d5d: crates/testbed/../../examples/event_path_anatomy.rs
+
+crates/testbed/../../examples/event_path_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_rescue-19f7ef43edd8a625.d: crates/testbed/../../examples/latency_rescue.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_rescue-19f7ef43edd8a625.rmeta: crates/testbed/../../examples/latency_rescue.rs Cargo.toml
+
+crates/testbed/../../examples/latency_rescue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

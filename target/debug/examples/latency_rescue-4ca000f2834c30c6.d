@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_rescue-4ca000f2834c30c6.d: crates/testbed/../../examples/latency_rescue.rs
+
+/root/repo/target/debug/examples/latency_rescue-4ca000f2834c30c6: crates/testbed/../../examples/latency_rescue.rs
+
+crates/testbed/../../examples/latency_rescue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1822a1ce14edb94a.d: crates/testbed/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1822a1ce14edb94a: crates/testbed/../../examples/quickstart.rs
+
+crates/testbed/../../examples/quickstart.rs:

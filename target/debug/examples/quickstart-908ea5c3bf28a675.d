@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-908ea5c3bf28a675.d: crates/testbed/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-908ea5c3bf28a675.rmeta: crates/testbed/../../examples/quickstart.rs Cargo.toml
+
+crates/testbed/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quota_tuning-4313c7ee849fbe9d.d: crates/testbed/../../examples/quota_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquota_tuning-4313c7ee849fbe9d.rmeta: crates/testbed/../../examples/quota_tuning.rs Cargo.toml
+
+crates/testbed/../../examples/quota_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

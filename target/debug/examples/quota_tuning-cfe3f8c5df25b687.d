@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quota_tuning-cfe3f8c5df25b687.d: crates/testbed/../../examples/quota_tuning.rs
+
+/root/repo/target/debug/examples/quota_tuning-cfe3f8c5df25b687: crates/testbed/../../examples/quota_tuning.rs
+
+crates/testbed/../../examples/quota_tuning.rs:

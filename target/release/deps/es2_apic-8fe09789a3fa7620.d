@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/es2_apic-8fe09789a3fa7620.d: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/release/deps/libes2_apic-8fe09789a3fa7620.rlib: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/release/deps/libes2_apic-8fe09789a3fa7620.rmeta: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+crates/apic/src/lib.rs:
+crates/apic/src/lapic.rs:
+crates/apic/src/msi.rs:
+crates/apic/src/pi.rs:
+crates/apic/src/regs.rs:
+crates/apic/src/vectors.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/es2_bench-6058739c0ab78e04.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/release/deps/libes2_bench-6058739c0ab78e04.rlib: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/release/deps/libes2_bench-6058739c0ab78e04.rmeta: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

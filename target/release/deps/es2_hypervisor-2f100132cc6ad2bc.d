@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_hypervisor-2f100132cc6ad2bc.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+/root/repo/target/release/deps/libes2_hypervisor-2f100132cc6ad2bc.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+/root/repo/target/release/deps/libes2_hypervisor-2f100132cc6ad2bc.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/exit.rs crates/hypervisor/src/router.rs crates/hypervisor/src/vcpu.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/exit.rs:
+crates/hypervisor/src/router.rs:
+crates/hypervisor/src/vcpu.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/es2_metrics-8697f6b68cddcea6.d: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libes2_metrics-8697f6b68cddcea6.rlib: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libes2_metrics-8697f6b68cddcea6.rmeta: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counter.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/tig.rs:
+crates/metrics/src/timeseries.rs:

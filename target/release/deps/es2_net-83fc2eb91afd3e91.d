@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/es2_net-83fc2eb91afd3e91.d: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libes2_net-83fc2eb91afd3e91.rlib: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libes2_net-83fc2eb91afd3e91.rmeta: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/nic.rs:
+crates/net/src/packet.rs:
+crates/net/src/tcp.rs:
+crates/net/src/udp.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_sched-94b50a2e61f5880f.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/release/deps/libes2_sched-94b50a2e61f5880f.rlib: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/release/deps/libes2_sched-94b50a2e61f5880f.rmeta: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/es2_sim-2bb323199d2c574b.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libes2_sim-2bb323199d2c574b.rlib: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libes2_sim-2bb323199d2c574b.rmeta: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/token.rs:
+crates/sim/src/trace.rs:

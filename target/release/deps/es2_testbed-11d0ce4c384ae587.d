@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/es2_testbed-11d0ce4c384ae587.d: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+/root/repo/target/release/deps/libes2_testbed-11d0ce4c384ae587.rlib: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+/root/repo/target/release/deps/libes2_testbed-11d0ce4c384ae587.rmeta: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/experiments.rs:
+crates/testbed/src/external.rs:
+crates/testbed/src/guest.rs:
+crates/testbed/src/host.rs:
+crates/testbed/src/machine.rs:
+crates/testbed/src/params.rs:
+crates/testbed/src/results.rs:
+crates/testbed/src/workload.rs:

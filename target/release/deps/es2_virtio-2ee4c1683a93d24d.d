@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/es2_virtio-2ee4c1683a93d24d.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/release/deps/libes2_virtio-2ee4c1683a93d24d.rlib: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/release/deps/libes2_virtio-2ee4c1683a93d24d.rmeta: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:

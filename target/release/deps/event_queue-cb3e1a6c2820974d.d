@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_queue-cb3e1a6c2820974d.d: crates/bench/benches/event_queue.rs
+
+/root/repo/target/release/deps/event_queue-cb3e1a6c2820974d: crates/bench/benches/event_queue.rs
+
+crates/bench/benches/event_queue.rs:

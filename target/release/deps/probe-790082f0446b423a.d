@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-790082f0446b423a.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-790082f0446b423a: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-141d1bfb1ce67e40.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-141d1bfb1ce67e40: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

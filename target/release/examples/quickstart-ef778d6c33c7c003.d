@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ef778d6c33c7c003.d: crates/testbed/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ef778d6c33c7c003: crates/testbed/../../examples/quickstart.rs
+
+crates/testbed/../../examples/quickstart.rs:

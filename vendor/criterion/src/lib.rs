@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of criterion's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), the [`criterion_group!`] /
+//! [`criterion_main!`] macros, a [`Bencher`] with `iter`, and
+//! [`black_box`]. It measures wall-clock time only — no statistics,
+//! outlier analysis, or HTML reports — and prints one line per benchmark:
+//! the best observed per-iteration time across a handful of samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times and record the elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Clone, Copy)]
+struct Settings {
+    /// Samples taken per benchmark (the best one is reported).
+    samples: u32,
+    /// Wall-clock budget per sample; iteration count is derived from it.
+    sample_budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            samples: 3,
+            sample_budget: Duration::from_millis(100),
+        }
+    }
+}
+
+fn run_bench(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass: one iteration to size the samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (settings.sample_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    let mut best = per_iter;
+    for _ in 0..settings.samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = Duration::from_nanos((b.elapsed.as_nanos() / iters as u128) as u64);
+        if per < best && per > Duration::ZERO {
+            best = per;
+        }
+    }
+    println!("bench  {id:<50} {:>12}/iter  ({iters} iters/sample)", fmt(best));
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.settings, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's statistical sample count; here it only scales the
+    /// number of timing samples taken (clamped to a small constant so
+    /// simulation-heavy benches stay fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = (n as u32).clamp(1, 5);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.settings, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

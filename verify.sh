@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full test suite, clippy at zero
+# warnings. Run from the repository root.
+#
+# Sweep parallelism during tests/benches respects ES2_THREADS
+# (default: all cores; ES2_THREADS=1 forces fully serial sweeps — useful
+# for bisecting any suspected executor interaction, though results are
+# bitwise identical at any thread count by construction).
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
