@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_apic-08124062b7252c1c.d: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+/root/repo/target/release/deps/es2_apic-08124062b7252c1c: crates/apic/src/lib.rs crates/apic/src/lapic.rs crates/apic/src/msi.rs crates/apic/src/pi.rs crates/apic/src/regs.rs crates/apic/src/vectors.rs
+
+crates/apic/src/lib.rs:
+crates/apic/src/lapic.rs:
+crates/apic/src/msi.rs:
+crates/apic/src/pi.rs:
+crates/apic/src/regs.rs:
+crates/apic/src/vectors.rs:

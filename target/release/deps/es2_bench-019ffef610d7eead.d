@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/es2_bench-019ffef610d7eead.d: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+/root/repo/target/release/deps/es2_bench-019ffef610d7eead: crates/bench/src/lib.rs crates/bench/src/perf.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/perf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_core-ac0cda7a7030eb8e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+/root/repo/target/release/deps/es2_core-ac0cda7a7030eb8e: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eli.rs crates/core/src/hybrid.rs crates/core/src/redirect.rs crates/core/src/router.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eli.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/redirect.rs:
+crates/core/src/router.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/es2_metrics-893d6de08d8300ca.d: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/es2_metrics-893d6de08d8300ca: crates/metrics/src/lib.rs crates/metrics/src/counter.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs crates/metrics/src/tig.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/counter.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:
+crates/metrics/src/tig.rs:
+crates/metrics/src/timeseries.rs:

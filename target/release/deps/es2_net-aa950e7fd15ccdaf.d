@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_net-aa950e7fd15ccdaf.d: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/es2_net-aa950e7fd15ccdaf: crates/net/src/lib.rs crates/net/src/nic.rs crates/net/src/packet.rs crates/net/src/tcp.rs crates/net/src/udp.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/nic.rs:
+crates/net/src/packet.rs:
+crates/net/src/tcp.rs:
+crates/net/src/udp.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/es2_sched-834ea9f3ec7e6e41.d: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+/root/repo/target/release/deps/es2_sched-834ea9f3ec7e6e41: crates/sched/src/lib.rs crates/sched/src/cfs.rs crates/sched/src/entity.rs crates/sched/src/weights.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cfs.rs:
+crates/sched/src/entity.rs:
+crates/sched/src/weights.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/es2_sim-f9986e5e976636d3.d: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/es2_sim-f9986e5e976636d3: crates/sim/src/lib.rs crates/sim/src/exec.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/token.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/token.rs:
+crates/sim/src/trace.rs:

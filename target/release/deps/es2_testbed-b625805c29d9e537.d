@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/es2_testbed-b625805c29d9e537.d: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+/root/repo/target/release/deps/es2_testbed-b625805c29d9e537: crates/testbed/src/lib.rs crates/testbed/src/experiments.rs crates/testbed/src/external.rs crates/testbed/src/guest.rs crates/testbed/src/host.rs crates/testbed/src/machine.rs crates/testbed/src/params.rs crates/testbed/src/results.rs crates/testbed/src/workload.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/experiments.rs:
+crates/testbed/src/external.rs:
+crates/testbed/src/guest.rs:
+crates/testbed/src/host.rs:
+crates/testbed/src/machine.rs:
+crates/testbed/src/params.rs:
+crates/testbed/src/results.rs:
+crates/testbed/src/workload.rs:

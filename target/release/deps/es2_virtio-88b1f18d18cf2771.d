@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/es2_virtio-88b1f18d18cf2771.d: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+/root/repo/target/release/deps/es2_virtio-88b1f18d18cf2771: crates/virtio/src/lib.rs crates/virtio/src/queue.rs crates/virtio/src/vhost.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/queue.rs:
+crates/virtio/src/vhost.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es2_workloads-a0327c3ef162fc2a.d: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+/root/repo/target/release/deps/es2_workloads-a0327c3ef162fc2a: crates/workloads/src/lib.rs crates/workloads/src/apachebench.rs crates/workloads/src/httperf.rs crates/workloads/src/memaslap.rs crates/workloads/src/netperf.rs crates/workloads/src/ping.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apachebench.rs:
+crates/workloads/src/httperf.rs:
+crates/workloads/src/memaslap.rs:
+crates/workloads/src/netperf.rs:
+crates/workloads/src/ping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_path_integration-687e2bd0219d750b.d: crates/core/tests/event_path_integration.rs
+
+/root/repo/target/release/deps/event_path_integration-687e2bd0219d750b: crates/core/tests/event_path_integration.rs
+
+crates/core/tests/event_path_integration.rs:

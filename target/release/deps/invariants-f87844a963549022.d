@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-f87844a963549022.d: crates/testbed/tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-f87844a963549022: crates/testbed/tests/invariants.rs
+
+crates/testbed/tests/invariants.rs:

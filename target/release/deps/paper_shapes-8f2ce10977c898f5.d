@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-8f2ce10977c898f5.d: crates/testbed/tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-8f2ce10977c898f5: crates/testbed/tests/paper_shapes.rs
+
+crates/testbed/tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-a9c2da484f8a5ada.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-a9c2da484f8a5ada: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

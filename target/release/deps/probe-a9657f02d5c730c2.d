@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-a9657f02d5c730c2.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-a9657f02d5c730c2: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-8a36edd7462de5a0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-8a36edd7462de5a0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

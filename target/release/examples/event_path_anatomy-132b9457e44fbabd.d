@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/event_path_anatomy-132b9457e44fbabd.d: crates/testbed/../../examples/event_path_anatomy.rs
+
+/root/repo/target/release/examples/event_path_anatomy-132b9457e44fbabd: crates/testbed/../../examples/event_path_anatomy.rs
+
+crates/testbed/../../examples/event_path_anatomy.rs:

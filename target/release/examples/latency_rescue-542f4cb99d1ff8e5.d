@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/latency_rescue-542f4cb99d1ff8e5.d: crates/testbed/../../examples/latency_rescue.rs
+
+/root/repo/target/release/examples/latency_rescue-542f4cb99d1ff8e5: crates/testbed/../../examples/latency_rescue.rs
+
+crates/testbed/../../examples/latency_rescue.rs:

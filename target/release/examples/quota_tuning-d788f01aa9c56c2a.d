@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quota_tuning-d788f01aa9c56c2a.d: crates/testbed/../../examples/quota_tuning.rs
+
+/root/repo/target/release/examples/quota_tuning-d788f01aa9c56c2a: crates/testbed/../../examples/quota_tuning.rs
+
+crates/testbed/../../examples/quota_tuning.rs:
