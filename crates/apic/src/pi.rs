@@ -109,6 +109,18 @@ impl PiDescriptor {
         self.pir.drain_into(&mut vapic.virr)
     }
 
+    /// Drain every posted-but-unsynchronized vector out of the PIR,
+    /// clearing ON. Used by the PI→emulated degradation path: when
+    /// posted-interrupt hardware becomes unavailable mid-run, pending PIR
+    /// state must migrate into the emulated LAPIC's IRR so nothing is
+    /// lost. Ascending vector order.
+    pub fn take_pending(&mut self) -> Vec<Vector> {
+        let vs: Vec<Vector> = self.pir.iter_set().collect();
+        self.pir.clear_all();
+        self.on = false;
+        vs
+    }
+
     /// Lifetime count of posted interrupts.
     pub fn posted_total(&self) -> u64 {
         self.posted_total
@@ -175,6 +187,17 @@ impl VApicPage {
     /// Number of pending vectors.
     pub fn pending_count(&self) -> u32 {
         self.virr.count()
+    }
+
+    /// Drain pending-but-undelivered vectors from the virtual IRR
+    /// (PI→emulated degradation). In-service vectors are *not* touched:
+    /// a handler that entered service exit-lessly retires through the
+    /// vAPIC ISR even after the fallback, which is what prevents its
+    /// re-delivery. Ascending vector order.
+    pub fn take_pending(&mut self) -> Vec<Vector> {
+        let vs: Vec<Vector> = self.virr.iter_set().collect();
+        self.virr.clear_all();
+        vs
     }
 
     /// True if a handler is in service.

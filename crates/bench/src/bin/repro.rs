@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [all] [--fast]
+//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast]
 //! repro --perf [--fast]
 //! ```
 //!
@@ -10,8 +10,15 @@
 //!
 //! `--perf` runs the perf baseline instead: each figure sweep is timed
 //! serial vs parallel and the results land in `BENCH_sweeps.json`
-//! (wall-clock per figure, simulated events/sec, speedup). Thread count
-//! comes from `ES2_THREADS` (default: all cores).
+//! (wall-clock per figure, simulated events/sec, speedup), then each is
+//! re-run clean vs chaos-faulted into `BENCH_faults.json` (fault-layer
+//! overhead + injected-fault counts). Thread count comes from
+//! `ES2_THREADS` (default: all cores).
+//!
+//! `chaos` renders the seeded acceptance fault plan swept over the
+//! paper's workload shapes. The output contains only deterministic
+//! quantities, so `ES2_THREADS=1 repro chaos` and `repro chaos` must be
+//! byte-identical — `verify.sh` diffs exactly that.
 
 use es2_bench::*;
 use es2_sim::SimDuration;
@@ -35,6 +42,12 @@ fn main() {
             Ok(()) => eprintln!("wrote BENCH_sweeps.json"),
             Err(e) => eprintln!("could not write BENCH_sweeps.json: {e}"),
         }
+        let json = perf::faults_baseline_json(params, SEED, fast);
+        print!("{json}");
+        match std::fs::write("BENCH_faults.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_faults.json"),
+            Err(e) => eprintln!("could not write BENCH_faults.json: {e}"),
+        }
         return;
     }
 
@@ -54,6 +67,7 @@ fn main() {
             "fig9",
             "sriov",
             "ablations",
+            "chaos",
         ];
     }
 
@@ -99,6 +113,14 @@ fn main() {
                 println!("{}", render_fig9(params, SEED, rates));
             }
             "sriov" => println!("{}", render_sriov(params, SEED)),
+            "chaos" => {
+                let mut p = params;
+                if fast {
+                    p.warmup = SimDuration::from_millis(50);
+                    p.measure = SimDuration::from_millis(300);
+                }
+                println!("{}", render_chaos(p, SEED));
+            }
             "ablations" => {
                 let mut p = params;
                 p.measure = if fast {

@@ -340,3 +340,118 @@ pub fn render_fig9(params: Params, seed: u64, rates: &[f64]) -> String {
     }
     t.render()
 }
+
+/// Chaos report: the acceptance fault plan swept across the paper's
+/// workload shapes, rendered with **only deterministic quantities** (no
+/// wall-clock) so two invocations at different `ES2_THREADS` can be
+/// `cmp`-ed byte-for-byte — that comparison *is* the reproducibility
+/// check `verify.sh` runs.
+pub fn render_chaos(params: Params, seed: u64) -> String {
+    use es2_core::EventPathConfig;
+    use es2_testbed::experiments::RunSpec;
+    use es2_testbed::{Machine, Topology, WorkloadSpec};
+    use es2_workloads::NetperfSpec;
+
+    let plan = experiments::chaos_plan();
+    let shapes: [(&str, EventPathConfig, Topology, WorkloadSpec); 4] = [
+        (
+            "tcp-send/PI",
+            EventPathConfig::pi(),
+            Topology::micro(),
+            WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+        ),
+        (
+            "udp-send/PI+H",
+            EventPathConfig::pi_h(4),
+            Topology::micro(),
+            WorkloadSpec::Netperf(NetperfSpec::udp_send(256)),
+        ),
+        (
+            "tcp-recv/Baseline",
+            EventPathConfig::baseline(),
+            Topology::micro(),
+            WorkloadSpec::Netperf(NetperfSpec::tcp_receive(1024)),
+        ),
+        (
+            "memcached/PI+H+R",
+            EventPathConfig::pi_h_r(4),
+            Topology::multiplexed(),
+            WorkloadSpec::Memcached,
+        ),
+    ];
+    let specs: Vec<RunSpec> = shapes
+        .iter()
+        .map(|&(_, cfg, topo, spec)| {
+            RunSpec {
+                cfg,
+                topo,
+                spec,
+                params,
+                seed,
+                faults: plan,
+            }
+        })
+        .collect();
+    let results = experiments::run_specs(&specs);
+
+    let mut t = Table::new(
+        format!(
+            "Chaos sweep — acceptance plan (seed {seed}: kick loss/delay, vhost stalls, 1% pkt loss, MSI loss, preempt storms, PI fails on VM 0 at 100 ms)"
+        ),
+        &[
+            "workload",
+            "goodput Gb/s",
+            "ops/s",
+            "faults",
+            "kick-",
+            "pkt-",
+            "msi-",
+            "rekick",
+            "reraise",
+            "RTO",
+            "PIdegr",
+            "vm0 posted/emul",
+        ],
+    );
+    for ((label, ..), r) in shapes.iter().zip(&results) {
+        let f = r.fault_stats;
+        let vm0 = r.modes.vm(0);
+        t.row(&[
+            label.to_string(),
+            format!("{:.3}", r.goodput_gbps),
+            fmt_rate(r.ops_per_sec),
+            f.total().to_string(),
+            f.kicks_dropped.to_string(),
+            f.pkts_dropped.to_string(),
+            f.msis_dropped.to_string(),
+            r.watchdog_rekicks.to_string(),
+            r.watchdog_reraises.to_string(),
+            r.guest_rtos.to_string(),
+            f.pi_degradations.to_string(),
+            format!("{}/{}", vm0.posted, vm0.emulated),
+        ]);
+    }
+    let mut out = t.render();
+
+    // One liveness-checked run of the acceptance shape: the invariant
+    // checker's verdict is part of the deterministic report.
+    let (_, report) = Machine::new_faulted(
+        EventPathConfig::pi(),
+        Topology::micro(),
+        WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+        params,
+        seed,
+        plan,
+    )
+    .run_checked();
+    out.push('\n');
+    out.push_str(&format!(
+        "liveness: {}\n",
+        if report.ok() {
+            "PASS (0 violations)".to_string()
+        } else {
+            format!("FAIL\n  {}", report.violations.join("\n  "))
+        }
+    ));
+    out
+}

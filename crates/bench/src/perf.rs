@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use es2_sim::FaultPlan;
 use es2_testbed::experiments::{self, RunSpec};
 use es2_testbed::{Params, RunResult, Topology};
 
@@ -46,6 +47,7 @@ fn specs_fig4(params: Params, seed: u64) -> Vec<RunSpec> {
         spec: WorkloadSpec::Netperf(np),
         params,
         seed,
+        faults: FaultPlan::none(),
     }];
     for quota in [64u32, 32, 16, 8, 4, 2] {
         specs.push(RunSpec {
@@ -54,6 +56,7 @@ fn specs_fig4(params: Params, seed: u64) -> Vec<RunSpec> {
             spec: WorkloadSpec::Netperf(np),
             params,
             seed,
+            faults: FaultPlan::none(),
         });
     }
     specs
@@ -72,6 +75,7 @@ fn specs_fig6(params: Params, seed: u64, sizes: &[u32]) -> Vec<RunSpec> {
                 spec: WorkloadSpec::Netperf(NetperfSpec::tcp_send(bytes).with_threads(4)),
                 params,
                 seed,
+                faults: FaultPlan::none(),
             });
         }
     }
@@ -90,6 +94,7 @@ fn specs_fig9(params: Params, seed: u64, rates: &[f64]) -> Vec<RunSpec> {
                 spec: WorkloadSpec::Httperf { rate },
                 params,
                 seed,
+                faults: FaultPlan::none(),
             });
         }
     }
@@ -124,6 +129,111 @@ fn time_sweep(name: &'static str, specs: &[RunSpec]) -> SweepTiming {
         serial_secs,
         parallel_secs,
     }
+}
+
+/// Timing of one sweep run twice: with the empty plan (inert injector —
+/// the clean path, hooks compiled in) and with the chaos plan attached.
+pub struct FaultTiming {
+    pub name: &'static str,
+    pub runs: usize,
+    pub clean_secs: f64,
+    pub faulted_secs: f64,
+    /// Events pushed by the clean pass.
+    pub clean_events: u64,
+    /// Events pushed by the faulted pass (recovery traffic adds events).
+    pub faulted_events: u64,
+    /// Faults the chaos plan actually injected, summed over the sweep.
+    pub faults_injected: u64,
+    /// Watchdog re-kicks + re-raises, summed over the sweep (recovery
+    /// actually firing, not just hooks being present).
+    pub recoveries: u64,
+}
+
+impl FaultTiming {
+    /// Faulted-over-clean wall-clock overhead in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        (self.faulted_secs / self.clean_secs.max(1e-12) - 1.0) * 100.0
+    }
+}
+
+fn time_faulted_sweep(name: &'static str, specs: &[RunSpec]) -> FaultTiming {
+    let plan = experiments::chaos_plan();
+    let faulted: Vec<RunSpec> = specs.iter().map(|s| s.with_faults(plan)).collect();
+
+    let t0 = Instant::now();
+    let clean_res = experiments::run_specs(specs);
+    let clean_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let faulted_res = experiments::run_specs(&faulted);
+    let faulted_secs = t0.elapsed().as_secs_f64();
+
+    for r in &clean_res {
+        assert_eq!(r.fault_stats.total(), 0, "clean sweep injected faults");
+    }
+
+    FaultTiming {
+        name,
+        runs: specs.len(),
+        clean_secs,
+        faulted_secs,
+        clean_events: clean_res.iter().map(|r| r.events_simulated).sum(),
+        faulted_events: faulted_res.iter().map(|r| r.events_simulated).sum(),
+        faults_injected: faulted_res.iter().map(|r| r.fault_stats.total()).sum(),
+        recoveries: faulted_res
+            .iter()
+            .map(|r| r.watchdog_rekicks + r.watchdog_reraises + r.guest_rtos)
+            .sum(),
+    }
+}
+
+/// Run the fault-overhead baseline and return the `BENCH_faults.json`
+/// content: for each sweep, wall time with the inert injector (the clean
+/// path — the number to hold near the pre-fault-layer baseline) next to
+/// the chaos-plan wall time, plus how many faults were injected and how
+/// often recovery machinery fired.
+pub fn faults_baseline_json(params: Params, seed: u64, fast: bool) -> String {
+    let threads = es2_sim::exec::effective_threads(usize::MAX);
+    let sizes: &[u32] = if fast { &[1024] } else { &[256, 1024, 2048] };
+
+    let timings = [
+        time_faulted_sweep("fig4_udp_quota_sweep", &specs_fig4(params, seed)),
+        time_faulted_sweep("fig6_tcp_size_sweep", &specs_fig6(params, seed, sizes)),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"repro --perf (faults)\",\n");
+    out.push_str(&format!("  \"fast\": {fast},\n"));
+    out.push_str(&format!("  \"worker_threads\": {threads},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", t.name));
+        out.push_str(&format!("      \"runs\": {},\n", t.runs));
+        out.push_str(&format!("      \"clean_wall_s\": {},\n", json_f(t.clean_secs)));
+        out.push_str(&format!(
+            "      \"faulted_wall_s\": {},\n",
+            json_f(t.faulted_secs)
+        ));
+        out.push_str(&format!(
+            "      \"faulted_overhead_percent\": {},\n",
+            json_f(t.overhead_percent())
+        ));
+        out.push_str(&format!("      \"clean_events\": {},\n", t.clean_events));
+        out.push_str(&format!("      \"faulted_events\": {},\n", t.faulted_events));
+        out.push_str(&format!("      \"faults_injected\": {},\n", t.faults_injected));
+        out.push_str(&format!("      \"recoveries\": {}\n", t.recoveries));
+        out.push_str(if i + 1 < timings.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
 }
 
 fn json_f(x: f64) -> String {

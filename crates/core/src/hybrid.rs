@@ -184,6 +184,20 @@ impl HybridHandler {
         }
     }
 
+    /// Watchdog predicate: `true` when the queue holds exposed buffers
+    /// while the handler sits in notification mode — exactly the state a
+    /// *lost* guest kick leaves behind. In a fault-free world this state
+    /// is transient (the kick that exposed the buffer is in flight); the
+    /// recovery watchdog treats it as stuck if it persists across a
+    /// watchdog period and re-queues the handler itself.
+    ///
+    /// In polling mode the handler is driven by the I/O thread (a requeue
+    /// is pending or the worker is mid-turn), so no re-kick is needed —
+    /// that edge is owned by the quota-requeue machinery.
+    pub fn needs_rekick<T>(&self, vq: &Virtqueue<T>) -> bool {
+        self.mode == HandlerMode::Notification && !vq.is_avail_empty()
+    }
+
     /// Turns the handler has been scheduled for.
     pub fn turn_count(&self) -> u64 {
         self.turns
@@ -363,6 +377,60 @@ mod tests {
         assert_eq!(h.turn_count(), 3); // 4 + 4 + 2
         assert_eq!(h.quota_exhaustion_count(), 2);
         assert_eq!(h.drain_count(), 1);
+    }
+
+    #[test]
+    fn kick_racing_the_drain_transition_is_not_lost() {
+        // The mode-switch race: the handler's drain decision and a guest
+        // kick land in the same sim-tick. Ordering A (kick after the
+        // enable-notify re-check ran) means the add reports Kick and the
+        // request waits for that kick's wake-up; if the kick is then lost
+        // — dropped IPI, fault injection — the request must still be
+        // discoverable, which is what `needs_rekick` pins.
+        let mut vq = vq_with(1);
+        let mut h = handler(8);
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (1, PollDecision::Drained));
+        // Same-tick arrival, after the transition:
+        assert_eq!(vq.driver_add(7).unwrap(), KickDecision::Kick);
+        assert!(
+            h.needs_rekick(&vq),
+            "lost-kick state must be visible to the watchdog"
+        );
+        // The watchdog's re-kick (a turn) recovers the request.
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (1, PollDecision::Drained));
+        assert!(!h.needs_rekick(&vq));
+    }
+
+    #[test]
+    fn kick_racing_the_recheck_is_absorbed_by_the_turn() {
+        // Ordering B (kick before the re-check): device_enable_notify
+        // reports the race and the handler consumes the request in the
+        // same turn — no kick, no watchdog involvement.
+        let mut vq = vq_with(1);
+        let mut h = handler(8);
+        h.begin_turn(&mut vq);
+        assert!(matches!(h.poll_next(&mut vq), PollDecision::Process(0)));
+        assert_eq!(vq.driver_add(7).unwrap(), KickDecision::NoKick);
+        assert!(matches!(h.poll_next(&mut vq), PollDecision::Process(7)));
+        assert!(matches!(h.poll_next(&mut vq), PollDecision::Drained));
+        assert_eq!(h.race_count(), 0, "single-threaded model: plain pop");
+        assert!(!h.needs_rekick(&vq));
+    }
+
+    #[test]
+    fn quota_exhaustion_needs_no_rekick() {
+        // Requests arriving at the quota-exhausted transition stay in
+        // polling mode; the pending requeue owns progress, not the
+        // watchdog.
+        let mut vq = vq_with(20);
+        let mut h = handler(8);
+        let (_, d) = run_turn(&mut h, &mut vq);
+        assert_eq!(d, PollDecision::QuotaExhausted);
+        assert_eq!(vq.driver_add(99).unwrap(), KickDecision::NoKick);
+        assert!(!vq.is_avail_empty());
+        assert!(!h.needs_rekick(&vq), "polling mode is requeue-driven");
     }
 
     #[test]

@@ -144,7 +144,16 @@ impl Vcpu {
                 self.pi_desc.sync_into(&mut self.vapic);
                 None // delivery happens exit-lessly via take_interrupt()
             }
-            InterruptPath::Emulated => self.lapic.ack(),
+            InterruptPath::Emulated => {
+                if self.vapic.in_service() {
+                    // A posted-path handler is still in service after a
+                    // mid-run PI→emulated degradation: hold injection
+                    // until its EOI, as the hardware PPR would.
+                    None
+                } else {
+                    self.lapic.ack()
+                }
+            }
         }
     }
 
@@ -200,10 +209,43 @@ impl Vcpu {
         match self.path {
             InterruptPath::Emulated => {
                 self.interrupts_handled += 1;
-                self.lapic.eoi().1
+                if self.vapic.in_service() {
+                    // The handler entered service exit-lessly before a
+                    // mid-run PI→emulated degradation: retire it where
+                    // delivery happened so it is never re-delivered.
+                    let more = self.vapic.eoi().1;
+                    more || self.lapic.next_deliverable().is_some()
+                } else {
+                    self.lapic.eoi().1
+                }
             }
             InterruptPath::Posted => self.vapic.eoi().1,
         }
+    }
+
+    /// Posted-interrupt hardware became unavailable: degrade this vCPU to
+    /// the emulated-LAPIC path, migrating every pending-but-undelivered
+    /// vector (PIR and virtual IRR) into the emulated IRR so nothing is
+    /// lost and nothing is delivered twice. In-service state stays in the
+    /// vAPIC ISR and retires through [`Vcpu::eoi`]. Returns the number of
+    /// vectors migrated; idempotent on an already-emulated vCPU.
+    pub fn degrade_to_emulated(&mut self) -> u32 {
+        if self.path == InterruptPath::Emulated {
+            return 0;
+        }
+        let mut moved = 0;
+        for v in self.pi_desc.take_pending() {
+            if self.lapic.set_irr(v) {
+                moved += 1;
+            }
+        }
+        for v in self.vapic.take_pending() {
+            if self.lapic.set_irr(v) {
+                moved += 1;
+            }
+        }
+        self.path = InterruptPath::Emulated;
+        moved
     }
 
     /// Withdraw a pending, not-yet-delivered vector so it can be
@@ -353,6 +395,66 @@ mod tests {
             v.vm_exit();
         }
         assert_eq!(v.interrupts_handled(), 3);
+    }
+
+    #[test]
+    fn degradation_migrates_pending_vectors() {
+        let mut v = vcpu(InterruptPath::Posted);
+        v.sched_out();
+        v.deliver(0x41); // parked in the PIR
+        v.sched_in();
+        v.vm_entry();
+        v.deliver(0x51); // synced+posted: ends up pending
+        v.pi_notification_sync();
+        v.vm_exit();
+        assert_eq!(v.degrade_to_emulated(), 2);
+        assert_eq!(v.path, InterruptPath::Emulated);
+        assert!(!v.pi_desc.has_pending());
+        assert!(!v.vapic.has_pending());
+        // Both vectors now deliver through the emulated path, once each.
+        assert_eq!(v.vm_entry(), Some(0x51));
+        assert!(v.eoi(), "0x41 still pending");
+        v.vm_exit();
+        assert_eq!(v.vm_entry(), Some(0x41));
+        assert!(!v.eoi());
+        assert_eq!(v.degrade_to_emulated(), 0, "idempotent");
+    }
+
+    #[test]
+    fn degradation_preserves_in_service_handler() {
+        // A handler is between exit-less delivery and EOI when PI fails:
+        // it must retire exactly once, via the vAPIC ISR.
+        let mut v = vcpu(InterruptPath::Posted);
+        v.sched_in();
+        v.vm_entry();
+        v.deliver(0x41);
+        v.pi_notification_sync();
+        assert_eq!(v.take_posted_interrupt(), Some(0x41));
+        v.deliver(0x61); // pending behind the in-service handler
+        v.vm_exit();
+        v.degrade_to_emulated();
+        assert!(v.vapic.in_service());
+        // No injection while the posted-path handler is in service.
+        assert_eq!(v.vm_entry(), None);
+        // Emulated EOI retires the posted-path handler and reports the
+        // migrated vector deliverable.
+        assert!(v.eoi());
+        assert!(!v.vapic.in_service());
+        v.vm_exit();
+        assert_eq!(v.vm_entry(), Some(0x61));
+    }
+
+    #[test]
+    fn degraded_vcpu_delivers_via_kick() {
+        let mut v = vcpu(InterruptPath::Posted);
+        v.sched_in();
+        v.vm_entry();
+        v.degrade_to_emulated();
+        assert_eq!(
+            v.deliver(0x41),
+            DeliveryOutcome::EmulatedKick,
+            "post-degradation deliveries take the kick-IPI path"
+        );
     }
 
     #[test]

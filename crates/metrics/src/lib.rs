@@ -16,6 +16,7 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod modes;
 pub mod summary;
 pub mod table;
 pub mod tig;
@@ -23,6 +24,7 @@ pub mod timeseries;
 
 pub use counter::{Counter, RateWindow};
 pub use histogram::Histogram;
+pub use modes::{ModeAccounting, VmModeCounts};
 pub use summary::Summary;
 pub use table::Table;
 pub use tig::TigAccount;

@@ -30,4 +30,4 @@ pub mod wire;
 pub use nic::NicQueue;
 pub use packet::{FlowId, Packet, PacketFactory, PacketKind};
 pub use tcp::TcpFlow;
-pub use wire::Link;
+pub use wire::{FaultedArrival, Link};

@@ -7,7 +7,20 @@
 //! the link is never the bottleneck in these experiments — exactly as in the
 //! paper, where the event path is.
 
-use es2_sim::{SimDuration, SimTime};
+use es2_sim::{PacketFault, SimDuration, SimTime};
+
+/// Where a faulted transmit leaves the frame: zero, one, or two arrival
+/// times at the far end. The link's serialization/FIFO state advances
+/// identically in every case — a dropped frame still occupied the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultedArrival {
+    /// Frame lost in flight; nothing arrives.
+    Dropped,
+    /// Normal (or delayed/reordered) single arrival.
+    One(SimTime),
+    /// Duplicated in flight: two arrivals of the same frame.
+    Two(SimTime, SimTime),
+}
 
 /// One direction of a point-to-point link.
 #[derive(Clone, Debug)]
@@ -18,6 +31,9 @@ pub struct Link {
     next_free: SimTime,
     tx_packets: u64,
     tx_bytes: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
 }
 
 impl Link {
@@ -30,6 +46,9 @@ impl Link {
             next_free: SimTime::ZERO,
             tx_packets: 0,
             tx_bytes: 0,
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
         }
     }
 
@@ -61,6 +80,37 @@ impl Link {
         done + self.propagation
     }
 
+    /// Transmit a frame subject to an injected fault decision.
+    ///
+    /// With [`PacketFault::Deliver`] this is exactly [`Link::transmit`].
+    /// Faults act on the *flight*, not the transmitter: serialization and
+    /// FIFO occupancy are charged identically in all cases, so enabling
+    /// fault hooks does not perturb the timing of unaffected frames.
+    pub fn transmit_faulted(
+        &mut self,
+        now: SimTime,
+        bytes: u32,
+        fault: PacketFault,
+    ) -> FaultedArrival {
+        let arrival = self.transmit(now, bytes);
+        match fault {
+            PacketFault::Deliver => FaultedArrival::One(arrival),
+            PacketFault::Drop => {
+                self.dropped += 1;
+                FaultedArrival::Dropped
+            }
+            PacketFault::Duplicate => {
+                self.duplicated += 1;
+                // The copy trails the original by one serialization slot.
+                FaultedArrival::Two(arrival, arrival + self.serialization(bytes))
+            }
+            PacketFault::Delay(extra) => {
+                self.reordered += 1;
+                FaultedArrival::One(arrival + extra)
+            }
+        }
+    }
+
     /// Current queueing delay a new frame would see.
     pub fn backlog(&self, now: SimTime) -> SimDuration {
         self.next_free.saturating_since(now)
@@ -74,6 +124,21 @@ impl Link {
     /// Bytes transmitted.
     pub fn tx_bytes(&self) -> u64 {
         self.tx_bytes
+    }
+
+    /// Frames lost to injected faults.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames duplicated by injected faults.
+    pub fn duplicated_frames(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Frames delayed past later traffic by injected faults.
+    pub fn reordered_frames(&self) -> u64 {
+        self.reordered
     }
 
     /// Achieved throughput over an elapsed span, in Gb/s.
@@ -140,6 +205,43 @@ mod tests {
         // 1.25MB in 1ms = 10 Gb/s.
         let g = l.throughput_gbps(SimDuration::from_millis(1));
         assert!((g - 10.0).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn faulted_transmit_clean_path_matches_transmit() {
+        let mut a = Link::forty_gbe();
+        let mut b = Link::forty_gbe();
+        for i in 0..20 {
+            let plain = a.transmit(t(i * 100), 1500);
+            let faulted = b.transmit_faulted(t(i * 100), 1500, PacketFault::Deliver);
+            assert_eq!(faulted, FaultedArrival::One(plain));
+        }
+        assert_eq!(b.dropped_frames(), 0);
+    }
+
+    #[test]
+    fn faults_charge_the_wire_but_change_arrivals() {
+        let mut l = Link::forty_gbe();
+        assert_eq!(
+            l.transmit_faulted(t(0), 1500, PacketFault::Drop),
+            FaultedArrival::Dropped
+        );
+        // The dropped frame still serialized: the next frame queues.
+        let next = l.transmit(t(0), 1500);
+        assert_eq!(next, t(600 + 1000));
+        match l.transmit_faulted(t(10_000), 1500, PacketFault::Duplicate) {
+            FaultedArrival::Two(first, second) => {
+                assert_eq!(second.since(first), SimDuration::from_nanos(300));
+            }
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+        let delayed =
+            l.transmit_faulted(t(20_000), 1500, PacketFault::Delay(SimDuration::from_micros(5)));
+        assert_eq!(delayed, FaultedArrival::One(t(20_000 + 300 + 1000 + 5_000)));
+        assert_eq!(
+            (l.dropped_frames(), l.duplicated_frames(), l.reordered_frames()),
+            (1, 1, 1)
+        );
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a plain-data description of *what can go wrong* in a
+//! simulation run: per-injection-point probabilities and magnitudes for
+//! dropped/delayed guest kicks, vhost-worker stalls, lost/late MSIs,
+//! packet loss/duplication/reordering, forced vCPU preemption storms, and
+//! mid-run loss of posted-interrupt hardware for a subset of VMs. The plan
+//! is `Copy` so an experiment spec that embeds one stays a pure value —
+//! a faulted run is still a pure function of `(config, workload, params,
+//! seed, plan)` and therefore bitwise-reproducible under the parallel
+//! sweep executor at any `ES2_THREADS`.
+//!
+//! A [`FaultInjector`] is the runtime half: it owns one forked [`SimRng`]
+//! stream **per injection point**, so the draw sequence at each point
+//! depends only on how many decisions that point has made — not on how
+//! decisions at different points interleave, and never on the simulation's
+//! own RNG. Two guarantees follow:
+//!
+//! 1. **Clean-path identity** — an inactive injector performs *zero* RNG
+//!    draws, so a run with no plan is bit-identical to a build without the
+//!    hooks at all.
+//! 2. **Stream isolation** — enabling one fault class does not shift the
+//!    random stream seen by another, which keeps A/B comparisons between
+//!    plans meaningful.
+//!
+//! The injector only *decides*; the world being simulated applies the
+//! decision (e.g. by not queueing the vhost handler, or by re-scheduling a
+//! packet arrival) and owns the corresponding recovery machinery.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// What to do with a single point-to-point delivery (guest kick or MSI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the notification (the payload state remains; only the
+    /// signal is lost — exactly the failure the re-arm double-check and
+    /// watchdog re-kick recover from).
+    Drop,
+    /// Deliver after an extra delay.
+    Delay(SimDuration),
+}
+
+/// What to do with a single packet crossing a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketFault {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the packet (TCP retransmit is the recovery path).
+    Drop,
+    /// Deliver twice (the receiver must tolerate duplicates).
+    Duplicate,
+    /// Deliver late — after packets transmitted behind it, i.e. reordered.
+    Delay(SimDuration),
+}
+
+/// A complete, declarative fault schedule for one simulation run.
+///
+/// All-zero probabilities (the [`FaultPlan::none`] default) mean "no
+/// faults"; such a plan never activates the injector. Probabilities are
+/// per-decision Bernoulli draws; drop is evaluated before delay at points
+/// that support both.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Extra salt mixed into the run seed so distinct plans with the same
+    /// run seed draw from unrelated streams.
+    pub salt: u64,
+    /// P(guest kick is lost) per kick I/O exit.
+    pub kick_drop_p: f64,
+    /// P(guest kick is delayed) per kick, evaluated after the drop draw.
+    pub kick_delay_p: f64,
+    /// Delay applied to a delayed kick.
+    pub kick_delay: SimDuration,
+    /// P(vhost worker stalls) per handler dispatch.
+    pub worker_stall_p: f64,
+    /// Stall duration added to a stalled dispatch.
+    pub worker_stall: SimDuration,
+    /// P(device MSI is lost) per interrupt raise.
+    pub msi_drop_p: f64,
+    /// P(device MSI is delayed) per raise, evaluated after the drop draw.
+    pub msi_delay_p: f64,
+    /// Delay applied to a delayed MSI.
+    pub msi_delay: SimDuration,
+    /// P(packet dropped) per link transmit.
+    pub pkt_drop_p: f64,
+    /// P(packet duplicated), evaluated after the drop draw.
+    pub pkt_dup_p: f64,
+    /// P(packet delayed past later traffic), evaluated after drop and dup.
+    pub pkt_reorder_p: f64,
+    /// Extra latency for a reordered packet.
+    pub pkt_reorder_delay: SimDuration,
+    /// Period of forced-preemption storms; `ZERO` disables them.
+    pub preempt_storm_period: SimDuration,
+    /// P(a given core is forcibly rescheduled) per storm tick.
+    pub preempt_storm_p: f64,
+    /// Bitmask of VM indices whose posted-interrupt hardware fails mid-run
+    /// (bit *n* = VM *n*). Zero disables the degradation.
+    pub pi_unavailable_mask: u64,
+    /// When, relative to run start, the masked VMs lose PI.
+    pub pi_fail_after: SimDuration,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, injector stays inert.
+    pub const fn none() -> Self {
+        FaultPlan {
+            salt: 0,
+            kick_drop_p: 0.0,
+            kick_delay_p: 0.0,
+            kick_delay: SimDuration::ZERO,
+            worker_stall_p: 0.0,
+            worker_stall: SimDuration::ZERO,
+            msi_drop_p: 0.0,
+            msi_delay_p: 0.0,
+            msi_delay: SimDuration::ZERO,
+            pkt_drop_p: 0.0,
+            pkt_dup_p: 0.0,
+            pkt_reorder_p: 0.0,
+            pkt_reorder_delay: SimDuration::ZERO,
+            preempt_storm_period: SimDuration::ZERO,
+            preempt_storm_p: 0.0,
+            pi_unavailable_mask: 0,
+            pi_fail_after: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.kick_drop_p > 0.0
+            || self.kick_delay_p > 0.0
+            || self.worker_stall_p > 0.0
+            || self.msi_drop_p > 0.0
+            || self.msi_delay_p > 0.0
+            || self.pkt_drop_p > 0.0
+            || self.pkt_dup_p > 0.0
+            || self.pkt_reorder_p > 0.0
+            || (!self.preempt_storm_period.is_zero() && self.preempt_storm_p > 0.0)
+            || self.pi_unavailable_mask != 0
+    }
+
+    /// Whether VM `vm` is scheduled to lose posted-interrupt hardware.
+    pub fn pi_fails_for_vm(&self, vm: usize) -> bool {
+        vm < 64 && self.pi_unavailable_mask & (1u64 << vm) != 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Injection counters, reported alongside run results so degradation can
+/// be attributed to specific injected faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub kicks_dropped: u64,
+    pub kicks_delayed: u64,
+    pub worker_stalls: u64,
+    pub msis_dropped: u64,
+    pub msis_delayed: u64,
+    pub pkts_dropped: u64,
+    pub pkts_duplicated: u64,
+    pub pkts_reordered: u64,
+    pub storm_preemptions: u64,
+    pub pi_degradations: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.kicks_dropped
+            + self.kicks_delayed
+            + self.worker_stalls
+            + self.msis_dropped
+            + self.msis_delayed
+            + self.pkts_dropped
+            + self.pkts_duplicated
+            + self.pkts_reordered
+            + self.storm_preemptions
+            + self.pi_degradations
+    }
+}
+
+/// Runtime fault decision engine: one independent RNG stream per
+/// injection point, plus counters.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    active: bool,
+    kick_rng: SimRng,
+    stall_rng: SimRng,
+    msi_rng: SimRng,
+    pkt_rng: SimRng,
+    storm_rng: SimRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`, deriving per-point streams from
+    /// `seed ^ plan.salt`. An inactive plan produces an inert injector
+    /// (every decision is `Deliver`/`None` with zero RNG draws).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut root = SimRng::new(seed ^ plan.salt ^ 0xFA17_FA17_FA17_FA17);
+        let active = plan.is_active();
+        FaultInjector {
+            plan,
+            active,
+            kick_rng: root.fork(),
+            stall_rng: root.fork(),
+            msi_rng: root.fork(),
+            pkt_rng: root.fork(),
+            storm_rng: root.fork(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that never injects anything.
+    pub fn inert() -> Self {
+        FaultInjector::new(FaultPlan::none(), 0)
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decide the fate of one guest kick (virtqueue notification exit).
+    pub fn on_guest_kick(&mut self) -> DeliveryFault {
+        if !self.active {
+            return DeliveryFault::Deliver;
+        }
+        if self.plan.kick_drop_p > 0.0 && self.kick_rng.gen_bool(self.plan.kick_drop_p) {
+            self.stats.kicks_dropped += 1;
+            return DeliveryFault::Drop;
+        }
+        if self.plan.kick_delay_p > 0.0 && self.kick_rng.gen_bool(self.plan.kick_delay_p) {
+            self.stats.kicks_delayed += 1;
+            return DeliveryFault::Delay(self.plan.kick_delay);
+        }
+        DeliveryFault::Deliver
+    }
+
+    /// Extra stall to add to one vhost handler dispatch, if any.
+    pub fn on_worker_dispatch(&mut self) -> Option<SimDuration> {
+        if !self.active || self.plan.worker_stall_p <= 0.0 {
+            return None;
+        }
+        if self.stall_rng.gen_bool(self.plan.worker_stall_p) {
+            self.stats.worker_stalls += 1;
+            Some(self.plan.worker_stall)
+        } else {
+            None
+        }
+    }
+
+    /// Decide the fate of one device MSI.
+    pub fn on_msi(&mut self) -> DeliveryFault {
+        if !self.active {
+            return DeliveryFault::Deliver;
+        }
+        if self.plan.msi_drop_p > 0.0 && self.msi_rng.gen_bool(self.plan.msi_drop_p) {
+            self.stats.msis_dropped += 1;
+            return DeliveryFault::Drop;
+        }
+        if self.plan.msi_delay_p > 0.0 && self.msi_rng.gen_bool(self.plan.msi_delay_p) {
+            self.stats.msis_delayed += 1;
+            return DeliveryFault::Delay(self.plan.msi_delay);
+        }
+        DeliveryFault::Deliver
+    }
+
+    /// Decide the fate of one packet crossing a link.
+    pub fn on_packet(&mut self) -> PacketFault {
+        if !self.active {
+            return PacketFault::Deliver;
+        }
+        if self.plan.pkt_drop_p > 0.0 && self.pkt_rng.gen_bool(self.plan.pkt_drop_p) {
+            self.stats.pkts_dropped += 1;
+            return PacketFault::Drop;
+        }
+        if self.plan.pkt_dup_p > 0.0 && self.pkt_rng.gen_bool(self.plan.pkt_dup_p) {
+            self.stats.pkts_duplicated += 1;
+            return PacketFault::Duplicate;
+        }
+        if self.plan.pkt_reorder_p > 0.0 && self.pkt_rng.gen_bool(self.plan.pkt_reorder_p) {
+            self.stats.pkts_reordered += 1;
+            return PacketFault::Delay(self.plan.pkt_reorder_delay);
+        }
+        PacketFault::Deliver
+    }
+
+    /// Storm tick: decide, per core, whether to force a reschedule.
+    /// Returns the indices (within `cores`) to preempt.
+    pub fn on_storm_tick(&mut self, cores: usize) -> Vec<usize> {
+        let mut hit = Vec::new();
+        if !self.active || self.plan.preempt_storm_p <= 0.0 {
+            return hit;
+        }
+        for c in 0..cores {
+            if self.storm_rng.gen_bool(self.plan.preempt_storm_p) {
+                hit.push(c);
+            }
+        }
+        self.stats.storm_preemptions += hit.len() as u64;
+        hit
+    }
+
+    /// Record that one vCPU degraded from posted to emulated interrupts.
+    pub fn note_pi_degradation(&mut self) {
+        self.stats.pi_degradations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_plan() -> FaultPlan {
+        FaultPlan {
+            kick_drop_p: 0.05,
+            kick_delay_p: 0.05,
+            kick_delay: SimDuration::from_micros(50),
+            worker_stall_p: 0.02,
+            worker_stall: SimDuration::from_micros(200),
+            msi_drop_p: 0.01,
+            msi_delay_p: 0.02,
+            msi_delay: SimDuration::from_micros(30),
+            pkt_drop_p: 0.01,
+            pkt_dup_p: 0.01,
+            pkt_reorder_p: 0.02,
+            pkt_reorder_delay: SimDuration::from_micros(40),
+            preempt_storm_period: SimDuration::from_millis(5),
+            preempt_storm_p: 0.5,
+            pi_unavailable_mask: 0b1,
+            pi_fail_after: SimDuration::from_millis(100),
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(!FaultPlan::default().is_active());
+        assert!(chaos_plan().is_active());
+    }
+
+    #[test]
+    fn inert_injector_never_injects_and_never_draws() {
+        let mut inj = FaultInjector::inert();
+        let before = format!("{:?}", inj.kick_rng);
+        for _ in 0..1000 {
+            assert_eq!(inj.on_guest_kick(), DeliveryFault::Deliver);
+            assert_eq!(inj.on_msi(), DeliveryFault::Deliver);
+            assert_eq!(inj.on_packet(), PacketFault::Deliver);
+            assert_eq!(inj.on_worker_dispatch(), None);
+            assert!(inj.on_storm_tick(8).is_empty());
+        }
+        // No RNG state advanced: the clean path is draw-free.
+        assert_eq!(before, format!("{:?}", inj.kick_rng));
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultInjector::new(chaos_plan(), 42);
+        let mut b = FaultInjector::new(chaos_plan(), 42);
+        for _ in 0..5000 {
+            assert_eq!(a.on_guest_kick(), b.on_guest_kick());
+            assert_eq!(a.on_packet(), b.on_packet());
+            assert_eq!(a.on_msi(), b.on_msi());
+            assert_eq!(a.on_worker_dispatch(), b.on_worker_dispatch());
+            assert_eq!(a.on_storm_tick(4), b.on_storm_tick(4));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "chaos plan injected nothing");
+    }
+
+    #[test]
+    fn streams_are_isolated_per_injection_point() {
+        // Interleaving decisions at other points must not change the
+        // decision sequence at a given point.
+        let mut lone = FaultInjector::new(chaos_plan(), 7);
+        let mut mixed = FaultInjector::new(chaos_plan(), 7);
+        let solo: Vec<DeliveryFault> = (0..500).map(|_| lone.on_guest_kick()).collect();
+        let interleaved: Vec<DeliveryFault> = (0..500)
+            .map(|_| {
+                mixed.on_packet();
+                mixed.on_msi();
+                mixed.on_worker_dispatch();
+                mixed.on_guest_kick()
+            })
+            .collect();
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan {
+            pkt_drop_p: 0.1,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 99);
+        let drops = (0..100_000)
+            .filter(|_| inj.on_packet() == PacketFault::Drop)
+            .count();
+        let frac = drops as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "drop frac {frac}");
+    }
+
+    #[test]
+    fn pi_mask_addresses_vms() {
+        let plan = FaultPlan {
+            pi_unavailable_mask: 0b101,
+            ..FaultPlan::none()
+        };
+        assert!(plan.pi_fails_for_vm(0));
+        assert!(!plan.pi_fails_for_vm(1));
+        assert!(plan.pi_fails_for_vm(2));
+        assert!(!plan.pi_fails_for_vm(64));
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn drop_takes_priority_over_delay() {
+        let plan = FaultPlan {
+            kick_drop_p: 1.0,
+            kick_delay_p: 1.0,
+            kick_delay: SimDuration::from_micros(1),
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 1);
+        for _ in 0..100 {
+            assert_eq!(inj.on_guest_kick(), DeliveryFault::Drop);
+        }
+    }
+
+    #[test]
+    fn salt_changes_the_stream() {
+        let base = chaos_plan();
+        let salted = FaultPlan { salt: 1, ..base };
+        let mut a = FaultInjector::new(base, 42);
+        let mut b = FaultInjector::new(salted, 42);
+        let same = (0..1000)
+            .filter(|_| a.on_packet() == b.on_packet())
+            .count();
+        assert!(same < 1000, "salt had no effect");
+    }
+}

@@ -37,12 +37,14 @@
 //!    simulation logic (we use index-based arenas everywhere).
 
 pub mod exec;
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod token;
 pub mod trace;
 
+pub use faults::{DeliveryFault, FaultInjector, FaultPlan, FaultStats, PacketFault};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -10,6 +10,7 @@
 //! any thread count (`ES2_THREADS=1` forces serial).
 
 use es2_core::{EventPathConfig, HybridParams};
+use es2_sim::FaultPlan;
 use es2_workloads::NetperfSpec;
 
 use crate::machine::{Machine, Topology};
@@ -27,12 +28,29 @@ pub struct RunSpec {
     pub spec: WorkloadSpec,
     pub params: Params,
     pub seed: u64,
+    /// Fault schedule for the run ([`FaultPlan::none`] for clean runs —
+    /// then the injector stays inert and the run is bit-identical to one
+    /// without the fault layer).
+    pub faults: FaultPlan,
 }
 
 impl RunSpec {
     /// Execute the run to completion.
     pub fn run(&self) -> RunResult {
-        Machine::new(self.cfg, self.topo, self.spec, self.params, self.seed).run()
+        Machine::new_faulted(
+            self.cfg,
+            self.topo,
+            self.spec,
+            self.params,
+            self.seed,
+            self.faults,
+        )
+        .run()
+    }
+
+    /// The same spec with a fault plan attached.
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        RunSpec { faults, ..self }
     }
 }
 
@@ -40,6 +58,34 @@ impl RunSpec {
 /// in input order (bitwise identical to running them serially).
 pub fn run_specs(specs: &[RunSpec]) -> Vec<RunResult> {
     es2_sim::exec::sweep(specs, RunSpec::run)
+}
+
+/// The canonical chaos plan used by the chaos suite, `repro chaos`, and
+/// the fault-overhead bench: moderate kick loss and delay, occasional
+/// vhost-worker stalls, 1 % packet loss with light duplication and
+/// reordering, and a mid-run posted-interrupt failure on VM 0 (100 ms in,
+/// inside the `Params::fast_test` window). Every probability is per-event,
+/// so the plan scales with run length without retuning.
+pub fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        kick_drop_p: 0.05,
+        kick_delay_p: 0.05,
+        kick_delay: es2_sim::SimDuration::from_micros(50),
+        worker_stall_p: 0.02,
+        worker_stall: es2_sim::SimDuration::from_micros(200),
+        msi_drop_p: 0.01,
+        msi_delay_p: 0.02,
+        msi_delay: es2_sim::SimDuration::from_micros(30),
+        pkt_drop_p: 0.01,
+        pkt_dup_p: 0.005,
+        pkt_reorder_p: 0.01,
+        pkt_reorder_delay: es2_sim::SimDuration::from_micros(40),
+        preempt_storm_period: es2_sim::SimDuration::from_millis(5),
+        preempt_storm_p: 0.25,
+        pi_unavailable_mask: 0b1,
+        pi_fail_after: es2_sim::SimDuration::from_millis(100),
+        ..FaultPlan::none()
+    }
 }
 
 /// Run one configuration of one workload on a topology.
@@ -56,6 +102,7 @@ pub fn run_one(
         spec,
         params,
         seed,
+        faults: FaultPlan::none(),
     }
     .run()
 }
@@ -71,6 +118,7 @@ pub fn table1(params: Params, seed: u64) -> Vec<RunResult> {
             spec,
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     run_specs(&specs)
@@ -118,6 +166,7 @@ pub fn fig4(
         spec: WorkloadSpec::Netperf(np),
         params,
         seed,
+        faults: FaultPlan::none(),
     }];
     for quota in quotas {
         labels.push(format!("quota={quota}"));
@@ -127,6 +176,7 @@ pub fn fig4(
             spec: WorkloadSpec::Netperf(np),
             params,
             seed,
+            faults: FaultPlan::none(),
         });
     }
     labels.into_iter().zip(run_specs(&specs)).collect()
@@ -158,6 +208,7 @@ pub fn fig5(send: bool, udp: bool, params: Params, seed: u64) -> Vec<RunResult> 
         spec: WorkloadSpec::Netperf(np),
         params,
         seed,
+        faults: FaultPlan::none(),
     })
     .collect();
     run_specs(&specs)
@@ -183,6 +234,7 @@ pub fn fig6(send: bool, msg_bytes: u32, params: Params, seed: u64) -> Vec<RunRes
             spec: WorkloadSpec::Netperf(np),
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     run_specs(&specs)
@@ -207,6 +259,7 @@ pub fn fig6_sweep(send: bool, sizes: &[u32], params: Params, seed: u64) -> Vec<(
                 spec: WorkloadSpec::Netperf(np),
                 params,
                 seed,
+                faults: FaultPlan::none(),
             });
         }
     }
@@ -232,6 +285,7 @@ pub fn fig7(params: Params, seed: u64) -> Vec<RunResult> {
         spec: WorkloadSpec::Ping,
         params,
         seed,
+        faults: FaultPlan::none(),
     })
     .collect();
     run_specs(&specs)
@@ -247,6 +301,7 @@ pub fn fig8_memcached(params: Params, seed: u64) -> Vec<RunResult> {
             spec: WorkloadSpec::Memcached,
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     run_specs(&specs)
@@ -262,6 +317,7 @@ pub fn fig8_apache(params: Params, seed: u64) -> Vec<RunResult> {
             spec: WorkloadSpec::Apache,
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     run_specs(&specs)
@@ -281,6 +337,7 @@ pub fn fig9(rates: &[f64], params: Params, seed: u64) -> Vec<(f64, Vec<RunResult
                 spec: WorkloadSpec::Httperf { rate },
                 params,
                 seed,
+                faults: FaultPlan::none(),
             });
         }
     }
@@ -328,6 +385,7 @@ pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResu
             spec: send,
             params: p,
             seed,
+            faults: FaultPlan::none(),
         });
         specs.push(RunSpec {
             cfg,
@@ -335,6 +393,7 @@ pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResu
             spec: WorkloadSpec::Ping,
             params: ping_p,
             seed,
+            faults: FaultPlan::none(),
         });
     }
     let mut results = run_specs(&specs).into_iter();
@@ -371,6 +430,7 @@ pub fn ablation_target_policy(params: Params, seed: u64) -> Vec<(&'static str, R
                 spec: WorkloadSpec::Ping,
                 params: p,
                 seed,
+                faults: FaultPlan::none(),
             }
         })
         .collect();
@@ -401,6 +461,7 @@ pub fn ablation_offline_policy(params: Params, seed: u64) -> Vec<(&'static str, 
                 spec: WorkloadSpec::Ping,
                 params: p,
                 seed,
+                faults: FaultPlan::none(),
             }
         })
         .collect();
@@ -422,6 +483,7 @@ pub fn ablation_mc_quota(params: Params, seed: u64, quotas: &[u32]) -> Vec<(u32,
             spec: WorkloadSpec::Memcached,
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     quotas.iter().copied().zip(run_specs(&specs)).collect()
@@ -474,6 +536,7 @@ pub fn stacking_sweep(params: Params, seed: u64) -> Vec<(u32, f64)> {
             spec: WorkloadSpec::Ping,
             params,
             seed,
+            faults: FaultPlan::none(),
         })
         .collect();
     (1..=4)

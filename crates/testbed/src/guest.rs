@@ -7,8 +7,8 @@
 //! — I/O work preempts the burner instantly, and the burner guarantees the
 //! vCPU thread never HLTs (exactly why the paper runs those scripts).
 
-use es2_hypervisor::ExitReason;
-use es2_net::{FlowId, Packet, PacketKind};
+use es2_hypervisor::{ExitReason, InterruptPath};
+use es2_net::{FaultedArrival, FlowId, Packet, PacketKind};
 use es2_sim::SimDuration;
 use es2_virtio::KickDecision;
 use es2_workloads::{NetperfDirection, NetperfProto};
@@ -32,9 +32,20 @@ impl Machine {
         let vmi = vm as usize;
         if self.p.device == crate::params::DeviceKind::AssignedVf {
             let at = self.now + self.p.sriov_dma;
-            let arrival = self.link_to_ext.transmit(at, pkt.bytes);
-            self.q
-                .push(arrival, crate::machine::Ev::ArriveAtExt { vm, pkt });
+            let fault = self.faults.on_packet();
+            match self.link_to_ext.transmit_faulted(at, pkt.bytes, fault) {
+                FaultedArrival::Dropped => {}
+                FaultedArrival::One(arrival) => {
+                    self.q
+                        .push(arrival, crate::machine::Ev::ArriveAtExt { vm, pkt });
+                }
+                FaultedArrival::Two(first, second) => {
+                    self.q
+                        .push(first, crate::machine::Ev::ArriveAtExt { vm, pkt });
+                    self.q
+                        .push(second, crate::machine::Ev::ArriveAtExt { vm, pkt });
+                }
+            }
             return Ok(false);
         }
         match self.vms[vmi].tx.driver_add(pkt) {
@@ -426,9 +437,11 @@ impl Machine {
     }
 
     /// The guest handler writes EOI: an `APIC Access` exit on the emulated
-    /// path, exit-less on the vAPIC.
+    /// path, exit-less on the vAPIC. Keyed off the vCPU's *current* path —
+    /// after a mid-run posted→emulated degradation the very same handler
+    /// completes through the emulated EOI machinery.
     fn eoi_sequence(&mut self, vm: u32, idx: u32) {
-        if self.cfg.use_pi {
+        if self.vms[vm as usize].vcpus[idx as usize].path == InterruptPath::Posted {
             let next = {
                 let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
                 vcpu.eoi();
@@ -491,9 +504,14 @@ impl Machine {
                 }
             }
             PacketKind::Ack => {
-                if let GuestWl::NetperfSend { flows, .. } = &mut self.vms[vmi].wl {
+                let now = self.now;
+                if let GuestWl::NetperfSend {
+                    flows, last_ack_at, ..
+                } = &mut self.vms[vmi].wl
+                {
                     let f = (pkt.flow.0 as usize).min(flows.len() - 1);
                     flows[f].on_ack_received(pkt.meta);
+                    last_ack_at[f] = now;
                 }
                 self.guest_app_wakeup(vm);
             }
@@ -585,10 +603,41 @@ impl Machine {
             let vmi = vm as usize;
             if let Ok(true) = self.guest_tx_emit(vm, pkt) {
                 let h = self.vms[vmi].tx_h;
-                self.vms[vmi].worker.queue_work(h);
-                let vt = self.vms[vmi].vhost_tid;
-                self.wake_thread(vt);
+                self.kick_vhost(vm, h);
             }
         }
+    }
+
+    /// Periodic guest-side TCP retransmission-timeout check (armed only
+    /// under an active fault plan). A flow whose ACK clock stalled for a
+    /// full RTO had segments (or their ACKs) lost on the faulty wire:
+    /// clear the in-flight accounting — the retransmission burst re-enters
+    /// through the normal send path — and wake the sender.
+    pub(crate) fn on_guest_tcp_timeout(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let now = self.now;
+        let rto = self.p.guest_rto;
+        let mut fired = false;
+        if let GuestWl::NetperfSend {
+            flows, last_ack_at, ..
+        } = &mut self.vms[vmi].wl
+        {
+            for (f, flow) in flows.iter_mut().enumerate() {
+                if flow.inflight() > 0 && now.saturating_since(last_ack_at[f]) > rto {
+                    let stuck = flow.inflight();
+                    flow.on_ack_received(stuck);
+                    last_ack_at[f] = now;
+                    fired = true;
+                }
+            }
+        }
+        if fired {
+            self.vms[vmi].guest_rtos += 1;
+            self.guest_app_wakeup(vm);
+        }
+        self.q.push(
+            self.now + self.p.guest_rto_check,
+            crate::machine::Ev::GuestTcpTimeout { vm },
+        );
     }
 }

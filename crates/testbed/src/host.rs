@@ -8,7 +8,7 @@
 //! (the guest refills during the dispatch gap).
 
 use es2_core::PollDecision;
-use es2_net::Packet;
+use es2_net::{FaultedArrival, Packet};
 use es2_sched::ThreadId;
 use es2_virtio::HandlerId;
 
@@ -25,7 +25,14 @@ impl Machine {
         self.vms[vmi].cur_handler = None;
         match self.vms[vmi].worker.next_work() {
             Some(h) => {
-                self.start_segment(tid, SegKind::VhostDispatch { h }, self.p.vhost_dispatch);
+                // An injected worker stall lengthens the dispatch segment:
+                // the thread holds the handler but makes no progress (a
+                // host-side hiccup — reclaim, IRQ storm, cgroup throttle).
+                let mut dur = self.p.vhost_dispatch;
+                if let Some(stall) = self.faults.on_worker_dispatch() {
+                    dur += stall;
+                }
+                self.start_segment(tid, SegKind::VhostDispatch { h }, dur);
             }
             None => {
                 let sw = self.sched.block(tid, self.now);
@@ -89,8 +96,15 @@ impl Machine {
             let vector = self.vms[vmi].tx_vector;
             self.deliver_device_msi(vm, vector);
         }
-        let arrival = self.link_to_ext.transmit(self.now, pkt.bytes);
-        self.q.push(arrival, Ev::ArriveAtExt { vm, pkt });
+        let fault = self.faults.on_packet();
+        match self.link_to_ext.transmit_faulted(self.now, pkt.bytes, fault) {
+            FaultedArrival::Dropped => {}
+            FaultedArrival::One(at) => self.q.push(at, Ev::ArriveAtExt { vm, pkt }),
+            FaultedArrival::Two(first, second) => {
+                self.q.push(first, Ev::ArriveAtExt { vm, pkt });
+                self.q.push(second, Ev::ArriveAtExt { vm, pkt });
+            }
+        }
         self.vhost_tx_step(vm);
     }
 
@@ -157,7 +171,7 @@ impl Machine {
             }
             let interrupt = self.vms[vmi].rx.device_push_used(pkt);
             if interrupt {
-                if self.cfg.use_pi {
+                if self.cfg.use_pi && !self.vms[vmi].pi_failed {
                     // VT-d PI: posted without hypervisor involvement.
                     let vector = self.vms[vmi].rx_vector;
                     self.deliver_device_msi(vm, vector);

@@ -34,11 +34,13 @@ pub mod experiments;
 mod external;
 mod guest;
 mod host;
+pub mod liveness;
 pub mod machine;
 pub mod params;
 pub mod results;
 pub mod workload;
 
+pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology};
 pub use params::Params;
 pub use results::RunResult;

@@ -1,0 +1,140 @@
+//! End-of-run liveness and invariant checking.
+//!
+//! Fault injection makes "the run finished" too weak an assertion: a lost
+//! kick that nothing recovered would still let the event loop drain. This
+//! checker inspects the final machine state for the invariants that must
+//! hold *regardless of what the fault plan did* — descriptor conservation
+//! on every virtqueue, scheduler/vCPU consistency, interrupt-delivery
+//! accounting, and forward progress. The chaos suite runs every faulted
+//! sweep through [`Machine::run_checked`] and asserts the report is clean.
+
+use crate::machine::Machine;
+use crate::results::RunResult;
+
+/// The outcome of checking one finished machine.
+#[derive(Clone, Debug, Default)]
+pub struct LivenessReport {
+    /// Human-readable invariant violations; empty means the run is sound.
+    pub violations: Vec<String>,
+}
+
+impl LivenessReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the full violation list unless the run is sound.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok(),
+            "liveness violations:\n  {}",
+            self.violations.join("\n  ")
+        );
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+}
+
+/// Check every liveness/consistency invariant on a finished machine.
+pub fn check(m: &Machine) -> LivenessReport {
+    let mut rep = LivenessReport::default();
+
+    for (vmi, vm) in m.vms.iter().enumerate() {
+        // Descriptor conservation: every buffer the driver added is either
+        // still avail, in the device, or went through used and back. An
+        // injected fault may delay a buffer but can never mint or leak one.
+        for (name, q) in [("tx", &vm.tx), ("rx", &vm.rx)] {
+            let added = q.added_total();
+            let popped = q.popped_total();
+            let completed = q.completed_total();
+            let reclaimed = q.reclaimed_total();
+            if added != popped + q.avail_pending() as u64 {
+                rep.fail(format!(
+                    "vm{vmi} {name}: added {added} != popped {popped} + avail {}",
+                    q.avail_pending()
+                ));
+            }
+            if completed != reclaimed + q.used_pending() as u64 {
+                rep.fail(format!(
+                    "vm{vmi} {name}: completed {completed} != reclaimed {reclaimed} + used {}",
+                    q.used_pending()
+                ));
+            }
+            if popped < completed {
+                rep.fail(format!(
+                    "vm{vmi} {name}: completed {completed} exceeds popped {popped}"
+                ));
+            }
+            if popped - completed > q.config().size as u64 {
+                rep.fail(format!(
+                    "vm{vmi} {name}: {} buffers stuck in-device (ring size {})",
+                    popped - completed,
+                    q.config().size
+                ));
+            }
+        }
+
+        // Scheduler/vCPU agreement: the vCPU's own notion of running must
+        // match the scheduler's, and guest mode implies a host thread on
+        // core — a preemption storm must never strand a vCPU "in guest"
+        // while descheduled.
+        for (idx, v) in vm.vcpus.iter().enumerate() {
+            let tid = vm.vcpu_tids[idx];
+            if v.running != m.sched.is_running(tid) {
+                rep.fail(format!(
+                    "vm{vmi} vcpu{idx}: vcpu.running={} but scheduler says {}",
+                    v.running,
+                    m.sched.is_running(tid)
+                ));
+            }
+            if v.in_guest && !v.running {
+                rep.fail(format!("vm{vmi} vcpu{idx}: in guest while descheduled"));
+            }
+        }
+
+        // Delivery accounting: a vCPU can only handle interrupts that the
+        // mode ledger saw delivered (coalescing makes handled ≤ delivered;
+        // the watchdog's spurious re-raises coalesce in the IRR, so they
+        // must never manufacture extra handled interrupts).
+        let handled: u64 = vm.vcpus.iter().map(|v| v.interrupts_handled()).sum();
+        let counts = m.modes.vm(vmi);
+        let delivered = counts.posted + counts.emulated;
+        if handled > delivered {
+            rep.fail(format!(
+                "vm{vmi}: handled {handled} interrupts but only {delivered} were delivered"
+            ));
+        }
+
+        // Forward progress: if the driver ever added TX buffers, the device
+        // must have completed at least one — a dropped kick with a working
+        // watchdog stalls a queue temporarily, never terminally.
+        if vm.tx.added_total() > 0 && vm.tx.completed_total() == 0 {
+            rep.fail(format!(
+                "vm{vmi} tx: {} buffers added, none ever completed",
+                vm.tx.added_total()
+            ));
+        }
+    }
+
+    rep
+}
+
+impl Machine {
+    /// Run to completion, check liveness invariants on the final state,
+    /// then collect results.
+    pub fn run_checked(mut self) -> (RunResult, LivenessReport) {
+        while let Some((t, ev)) = self.q.pop() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            if t > self.end_time {
+                break;
+            }
+            self.dispatch(ev);
+        }
+        let report = check(&self);
+        (RunResult::collect(self), report)
+    }
+}

@@ -21,9 +21,12 @@ use es2_hypervisor::{
     AffinityRouter, DeliveryOutcome, ExitReason, InterruptPath, MsiRouter, RouteCtx, Vcpu, VcpuId,
     VmId,
 };
+use es2_metrics::ModeAccounting;
 use es2_net::{Link, NicQueue, Packet, PacketFactory};
 use es2_sched::{CfsScheduler, CoreId, Switch, ThreadId};
-use es2_sim::{EventQueue, GenToken, SimDuration, SimRng, SimTime};
+use es2_sim::{
+    DeliveryFault, EventQueue, FaultInjector, FaultPlan, GenToken, SimDuration, SimRng, SimTime,
+};
 use es2_virtio::{HandlerId, VhostWorker, Virtqueue, VirtqueueConfig};
 
 use crate::params::Params;
@@ -202,6 +205,15 @@ pub(crate) struct VmState {
     pub(crate) migrated_count: u64,
     /// One-way latency from packet creation to guest NAPI consumption.
     pub(crate) rx_latency: es2_metrics::Summary,
+    /// Posted-interrupt hardware failed for this VM (graceful-degradation
+    /// state: all further deliveries take the emulated path).
+    pub(crate) pi_failed: bool,
+    /// Lost kicks re-issued by the liveness watchdog.
+    pub(crate) watchdog_rekicks: u64,
+    /// Lost device interrupts re-raised by the liveness watchdog.
+    pub(crate) watchdog_reraises: u64,
+    /// Guest-side TCP retransmission timeouts fired (packet-loss recovery).
+    pub(crate) guest_rtos: u64,
 }
 
 /// Events of the discrete-event loop.
@@ -252,6 +264,28 @@ pub(crate) enum Ev {
     VfIrq {
         vm: u32,
     },
+    /// A fault-delayed guest kick finally reaches the vhost worker.
+    DelayedKick {
+        vm: u32,
+        h: HandlerId,
+    },
+    /// A fault-delayed device MSI finally reaches the routing layer.
+    DelayedMsi {
+        vm: u32,
+        vector: Vector,
+    },
+    /// Periodic liveness watchdog (armed only under an active fault plan):
+    /// re-kicks lost notifications and re-raises lost device interrupts.
+    Watchdog,
+    /// Forced-preemption storm tick (fault injection).
+    PreemptStorm,
+    /// Periodic guest-side TCP retransmission-timeout check (armed only
+    /// under an active fault plan; recovers sender liveness after loss).
+    GuestTcpTimeout {
+        vm: u32,
+    },
+    /// Posted-interrupt hardware fails for the plan's masked VMs.
+    PiFail,
     OpenWindow,
     CloseWindow,
 }
@@ -275,6 +309,11 @@ pub struct Machine {
     pub(crate) router: Option<Es2Router>,
     pub(crate) window_open: bool,
     pub(crate) end_time: SimTime,
+    /// Deterministic fault decision engine (inert for the empty plan: the
+    /// clean path performs zero extra RNG draws and schedules no events).
+    pub(crate) faults: FaultInjector,
+    /// Per-VM delivery-mode ledger (posted vs emulated, degradations).
+    pub(crate) modes: ModeAccounting,
     /// Reusable routing scratch (vCPU online flags), refilled per MSI so
     /// the delivery hot path never allocates.
     route_online: Vec<bool>,
@@ -292,9 +331,21 @@ impl Machine {
         params: Params,
         seed: u64,
     ) -> Self {
+        Self::new_faulted(cfg, topo, spec, params, seed, FaultPlan::none())
+    }
+
+    /// Like [`Machine::new`], with a fault plan scheduled over the run.
+    pub fn new_faulted(
+        cfg: EventPathConfig,
+        topo: Topology,
+        spec: WorkloadSpec,
+        params: Params,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
         let mut specs = vec![WorkloadSpec::Idle; topo.num_vms as usize];
         specs[0] = spec;
-        Self::with_specs(cfg, topo, specs, params, seed)
+        Self::with_specs_faulted(cfg, topo, specs, params, seed, plan)
     }
 
     /// Build a testbed with an explicit per-VM workload list.
@@ -304,6 +355,21 @@ impl Machine {
         specs: Vec<WorkloadSpec>,
         params: Params,
         seed: u64,
+    ) -> Self {
+        Self::with_specs_faulted(cfg, topo, specs, params, seed, FaultPlan::none())
+    }
+
+    /// Build a testbed with an explicit per-VM workload list and a fault
+    /// plan. The injector's streams are derived from `(seed, plan.salt)`
+    /// independently of the machine RNG, so the empty plan is bit-identical
+    /// to the unfaulted constructors.
+    pub fn with_specs_faulted(
+        cfg: EventPathConfig,
+        topo: Topology,
+        specs: Vec<WorkloadSpec>,
+        params: Params,
+        seed: u64,
+        plan: FaultPlan,
     ) -> Self {
         assert_eq!(specs.len(), topo.num_vms as usize);
         assert!(
@@ -405,6 +471,10 @@ impl Machine {
                 parked_count: 0,
                 migrated_count: 0,
                 rx_latency: es2_metrics::Summary::new(),
+                pi_failed: false,
+                watchdog_rekicks: 0,
+                watchdog_reraises: 0,
+                guest_rtos: 0,
             });
         }
 
@@ -448,6 +518,8 @@ impl Machine {
             router,
             window_open: false,
             end_time,
+            faults: FaultInjector::new(plan, seed),
+            modes: ModeAccounting::new(topo.num_vms as usize),
             route_online: Vec::with_capacity(topo.vcpus_per_vm as usize),
             route_load: Vec::with_capacity(topo.vcpus_per_vm as usize),
         };
@@ -495,6 +567,36 @@ impl Machine {
         }
         // External traffic kick-off.
         self.bootstrap_external();
+        // Fault-plan machinery. Armed only under an active plan so the
+        // clean path pushes an identical event sequence.
+        if self.faults.is_active() {
+            let plan = *self.faults.plan();
+            self.q
+                .push(SimTime::ZERO + self.p.watchdog_period, Ev::Watchdog);
+            if !plan.preempt_storm_period.is_zero() && plan.preempt_storm_p > 0.0 {
+                self.q
+                    .push(SimTime::ZERO + plan.preempt_storm_period, Ev::PreemptStorm);
+            }
+            if plan.pi_unavailable_mask != 0 {
+                self.q.push(SimTime::ZERO + plan.pi_fail_after, Ev::PiFail);
+            }
+            // Guest-side retransmission timers for TCP senders: under
+            // injected packet loss the ACK clock can stall outright; the
+            // RTO clears the in-flight accounting so sending resumes.
+            for vm in 0..self.vms.len() as u32 {
+                let tcp_sender = matches!(
+                    &self.vms[vm as usize].wl,
+                    GuestWl::NetperfSend { spec, .. }
+                        if spec.proto == es2_workloads::NetperfProto::Tcp
+                );
+                if tcp_sender {
+                    self.q.push(
+                        SimTime::ZERO + self.p.guest_rto_check,
+                        Ev::GuestTcpTimeout { vm },
+                    );
+                }
+            }
+        }
         // Measurement window.
         self.q.push(SimTime::ZERO + self.p.warmup, Ev::OpenWindow);
         self.q.push(self.end_time, Ev::CloseWindow);
@@ -624,7 +726,7 @@ impl Machine {
         RunResult::collect(self)
     }
 
-    fn dispatch(&mut self, ev: Ev) {
+    pub(crate) fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Tick(core) => {
                 let noise = self
@@ -665,6 +767,17 @@ impl Machine {
                 let tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(tid);
             }
+            Ev::DelayedKick { vm, h } => {
+                let vmi = vm as usize;
+                self.vms[vmi].worker.queue_work(h);
+                let tid = self.vms[vmi].vhost_tid;
+                self.wake_thread(tid);
+            }
+            Ev::DelayedMsi { vm, vector } => self.route_and_deliver_msi(vm, vector),
+            Ev::Watchdog => self.on_watchdog(),
+            Ev::PreemptStorm => self.on_preempt_storm(),
+            Ev::GuestTcpTimeout { vm } => self.on_guest_tcp_timeout(vm),
+            Ev::PiFail => self.on_pi_fail(),
             Ev::OpenWindow => {
                 self.window_open = true;
                 let now = self.now;
@@ -845,7 +958,9 @@ impl Machine {
         };
         // Emulated path: the entry injected at most one vector. Posted
         // path: the entry synchronized PIR→vIRR; take from the vAPIC.
-        let vector = if self.cfg.use_pi {
+        // Keyed off the vCPU's *current* path, not the static config: a
+        // degraded vCPU re-enters through the emulated machinery.
+        let vector = if self.vms[vm as usize].vcpus[idx as usize].path == InterruptPath::Posted {
             self.vms[vm as usize].vcpus[idx as usize].take_posted_interrupt()
         } else {
             injected
@@ -875,17 +990,41 @@ impl Machine {
     /// so the vhost worker wakes (on its own core) concurrently with the
     /// rest of the exit processing.
     pub(crate) fn begin_kick_exit(&mut self, vm: u32, idx: u32, h: HandlerId) {
-        let vmi = vm as usize;
-        self.vms[vmi].worker.queue_work(h);
-        let vhost_tid = self.vms[vmi].vhost_tid;
-        self.wake_thread(vhost_tid);
+        self.kick_vhost(vm, h);
         self.begin_exit(vm, idx, ExitReason::IoInstruction, AfterExit::Resume);
+    }
+
+    /// Signal the vhost worker's eventfd for handler `h`, subject to the
+    /// fault plan. A dropped kick loses only the signal: the ring state
+    /// stays exposed (that is what the watchdog re-kick recovers), and a
+    /// kick exit the guest already paid for is still charged by the caller.
+    pub(crate) fn kick_vhost(&mut self, vm: u32, h: HandlerId) {
+        match self.faults.on_guest_kick() {
+            DeliveryFault::Deliver => {
+                let vmi = vm as usize;
+                self.vms[vmi].worker.queue_work(h);
+                let vhost_tid = self.vms[vmi].vhost_tid;
+                self.wake_thread(vhost_tid);
+            }
+            DeliveryFault::Drop => {}
+            DeliveryFault::Delay(extra) => {
+                self.q.push(self.now + extra, Ev::DelayedKick { vm, h });
+            }
+        }
     }
 
     /// Deliver a virtual interrupt to a specific vCPU (timer, or a routed
     /// device MSI), performing the configured delivery machinery.
     pub(crate) fn deliver_to_vcpu(&mut self, vm: u32, idx: u32, vector: Vector) {
         let outcome = self.vms[vm as usize].vcpus[idx as usize].deliver(vector);
+        match outcome {
+            DeliveryOutcome::EmulatedKick | DeliveryOutcome::EmulatedPendingEntry => {
+                self.modes.note_emulated(vm as usize);
+            }
+            DeliveryOutcome::PiNotify | DeliveryOutcome::PiPosted => {
+                self.modes.note_posted(vm as usize);
+            }
+        }
         match outcome {
             DeliveryOutcome::EmulatedKick => {
                 self.q.push(
@@ -910,8 +1049,22 @@ impl Machine {
         }
     }
 
-    /// Route a device MSI through the configured router and deliver it.
+    /// Raise a device MSI, subject to the fault plan: a dropped MSI loses
+    /// the message entirely (the used-ring state survives and the watchdog
+    /// re-raise recovers it); a delayed one re-enters routing later, so it
+    /// is routed against the vCPU online-state of its *arrival* time.
     pub(crate) fn deliver_device_msi(&mut self, vm: u32, vector: Vector) {
+        match self.faults.on_msi() {
+            DeliveryFault::Deliver => self.route_and_deliver_msi(vm, vector),
+            DeliveryFault::Drop => {}
+            DeliveryFault::Delay(extra) => {
+                self.q.push(self.now + extra, Ev::DelayedMsi { vm, vector });
+            }
+        }
+    }
+
+    /// Route a device MSI through the configured router and deliver it.
+    pub(crate) fn route_and_deliver_msi(&mut self, vm: u32, vector: Vector) {
         let affinity = self.vms[vm as usize].affinity_vcpu;
         // Refill the reusable scratch buffers instead of allocating fresh
         // snapshot vectors per MSI — this path fires once per device
@@ -1077,6 +1230,122 @@ impl Machine {
             self.resume_saved(tid, false);
         } else {
             self.start_vcpu_work(vm, idx);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault recovery and degradation machinery
+    // -----------------------------------------------------------------
+
+    /// Periodic liveness watchdog, armed only under an active fault plan.
+    ///
+    /// Each pass scans every VM for the stuck states a lost notification
+    /// leaves behind and re-issues the signal. The re-issues go through the
+    /// reliable host-internal paths (a software watchdog cannot lose its
+    /// own wakeup), so every fault class converges in at most a few
+    /// watchdog periods.
+    fn on_watchdog(&mut self) {
+        for vm in 0..self.vms.len() as u32 {
+            let vmi = vm as usize;
+            // Lost TX kick: exposed buffers while the handler sits in
+            // notification mode, yet nobody queued it and it is not
+            // mid-turn. (Polling mode recovers by itself via requeues.)
+            let tx_h = self.vms[vmi].tx_h;
+            let tx_stuck = self.vms[vmi].tx_handler.needs_rekick(&self.vms[vmi].tx)
+                && !self.vms[vmi].worker.is_queued(tx_h)
+                && self.vms[vmi].cur_handler != Some(tx_h);
+            if tx_stuck {
+                self.vms[vmi].watchdog_rekicks += 1;
+                self.vms[vmi].worker.queue_work(tx_h);
+                let tid = self.vms[vmi].vhost_tid;
+                self.wake_thread(tid);
+            }
+            // Lost RX refill kick: ingress backlog waiting, guest buffers
+            // available, but the RX handler was never requeued.
+            let rx_h = self.vms[vmi].rx_h;
+            let rx_stuck = !self.vms[vmi].backlog.is_empty()
+                && self.vms[vmi].rx.avail_pending() > 0
+                && !self.vms[vmi].worker.is_queued(rx_h)
+                && self.vms[vmi].cur_handler != Some(rx_h);
+            if rx_stuck {
+                self.vms[vmi].watchdog_rekicks += 1;
+                self.vms[vmi].worker.queue_work(rx_h);
+                let tid = self.vms[vmi].vhost_tid;
+                self.wake_thread(tid);
+            }
+            // Lost RX interrupt: published packets with interrupts armed
+            // and no handler running. Re-raising merely sets an IRR bit
+            // that is already pending in the benign race, so a spurious
+            // re-raise coalesces instead of double-delivering.
+            if self.vms[vmi].rx.used_pending() > 0 && !self.vms[vmi].rx.interrupts_disabled() {
+                self.vms[vmi].watchdog_reraises += 1;
+                let vector = self.vms[vmi].rx_vector;
+                self.route_and_deliver_msi(vm, vector);
+            }
+            // Lost TX-completion interrupt: the guest blocked on a full
+            // ring, completions are back, interrupts are armed — but the
+            // MSI vanished.
+            if self.vms[vmi].blocked_tx_full
+                && self.vms[vmi].tx.used_pending() > 0
+                && !self.vms[vmi].tx.interrupts_disabled()
+            {
+                self.vms[vmi].watchdog_reraises += 1;
+                let vector = self.vms[vmi].tx_vector;
+                self.route_and_deliver_msi(vm, vector);
+            }
+        }
+        self.q.push(self.now + self.p.watchdog_period, Ev::Watchdog);
+    }
+
+    /// Forced-preemption storm tick: per the plan, force a reschedule on a
+    /// random subset of cores (vCPU preemption at the worst moments —
+    /// exactly the churn §IV-C's redirection is built to survive).
+    fn on_preempt_storm(&mut self) {
+        let period = self.faults.plan().preempt_storm_period;
+        let cores = self.p.num_cores as usize;
+        for c in self.faults.on_storm_tick(cores) {
+            if let Some(sw) = self.sched.resched(CoreId(c as u32), self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        self.q.push(self.now + period, Ev::PreemptStorm);
+    }
+
+    /// Posted-interrupt hardware fails for the plan's masked VMs: every
+    /// affected vCPU migrates its pending posted state into the emulated
+    /// LAPIC and flips to the kick-IPI/EOI path, without losing a vector.
+    fn on_pi_fail(&mut self) {
+        for vmi in 0..self.vms.len() {
+            if !self.faults.plan().pi_fails_for_vm(vmi) || self.vms[vmi].pi_failed {
+                continue;
+            }
+            self.vms[vmi].pi_failed = true;
+            for idx in 0..self.vms[vmi].vcpus.len() {
+                if self.vms[vmi].vcpus[idx].path != InterruptPath::Posted {
+                    continue;
+                }
+                self.vms[vmi].vcpus[idx].degrade_to_emulated();
+                self.faults.note_pi_degradation();
+                self.modes.note_degradation(vmi);
+                // Vectors that were pending in the posted descriptor now
+                // sit in the emulated IRR; arrange their injection the way
+                // the emulated path would have.
+                let v = &self.vms[vmi].vcpus[idx];
+                if v.has_deliverable() {
+                    if v.in_guest && v.running {
+                        self.q.push(
+                            self.now + self.p.costs.ipi_send,
+                            Ev::KickIpi {
+                                vm: vmi as u32,
+                                vcpu: idx as u32,
+                            },
+                        );
+                    } else {
+                        let tid = self.vms[vmi].vcpu_tids[idx];
+                        self.wake_thread(tid);
+                    }
+                }
+            }
         }
     }
 }

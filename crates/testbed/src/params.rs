@@ -162,6 +162,15 @@ pub struct Params {
     /// least-loaded-sticky / offline-head). Used by the ablation benches.
     pub redirect_policies: Option<(es2_core::TargetPolicy, es2_core::OfflinePolicy)>,
 
+    // ---- fault recovery (used only under an active fault plan) ----
+    /// Liveness-watchdog scan period: how often stuck rings are re-kicked
+    /// and lost device interrupts re-raised.
+    pub watchdog_period: SimDuration,
+    /// Guest-side TCP retransmission timeout.
+    pub guest_rto: SimDuration,
+    /// How often the guest RTO check runs.
+    pub guest_rto_check: SimDuration,
+
     // ---- measurement ----
     /// Warm-up before counters open.
     pub warmup: SimDuration,
@@ -220,6 +229,10 @@ impl Default for Params {
             sriov_dma: SimDuration::from_nanos(900),
 
             redirect_policies: None,
+
+            watchdog_period: SimDuration::from_micros(500),
+            guest_rto: SimDuration::from_millis(8),
+            guest_rto_check: SimDuration::from_millis(5),
 
             warmup: SimDuration::from_millis(200),
             measure: SimDuration::from_secs(1),

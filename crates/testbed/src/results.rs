@@ -55,6 +55,18 @@ pub struct RunResult {
     /// Total events the run pushed through the simulation queue
     /// (lifetime; the denominator for events/sec perf reporting).
     pub events_simulated: u64,
+    /// Faults the plan actually injected over this run (all zeros for the
+    /// empty plan).
+    pub fault_stats: es2_sim::FaultStats,
+    /// Per-VM interrupt delivery-mode ledger (posted vs emulated counts
+    /// and degradation events — the graceful-degradation audit trail).
+    pub modes: es2_metrics::ModeAccounting,
+    /// Lost kicks re-issued by the liveness watchdog (tested VM).
+    pub watchdog_rekicks: u64,
+    /// Lost device interrupts re-raised by the watchdog (tested VM).
+    pub watchdog_reraises: u64,
+    /// Guest-side TCP retransmission timeouts fired (tested VM).
+    pub guest_rtos: u64,
 }
 
 impl RunResult {
@@ -187,6 +199,11 @@ impl RunResult {
             mean_rx_latency_us: vm0.rx_latency.mean(),
             max_rx_latency_us: vm0.rx_latency.max(),
             events_simulated: m.q.pushed_total(),
+            fault_stats: m.faults.stats(),
+            modes: m.modes.clone(),
+            watchdog_rekicks: vm0.watchdog_rekicks,
+            watchdog_reraises: vm0.watchdog_reraises,
+            guest_rtos: vm0.guest_rtos,
         }
     }
 }

@@ -79,6 +79,9 @@ pub enum GuestWl {
         flows: Vec<TcpFlow>,
         /// Messages fully handed to the device (windowed count).
         sent_msgs: u64,
+        /// Per-flow time of the last ACK (guest-side RTO detection under
+        /// injected packet loss; parallel to `flows`).
+        last_ack_at: Vec<es2_sim::SimTime>,
     },
     /// netperf receiver: the guest consumes and ACKs.
     NetperfRecv {
@@ -112,6 +115,7 @@ impl GuestWl {
                     spec: *np,
                     flows: (0..np.threads).map(|_| TcpFlow::new(tcp_window)).collect(),
                     sent_msgs: 0,
+                    last_ack_at: vec![es2_sim::SimTime::ZERO; np.threads as usize],
                 },
                 es2_workloads::NetperfDirection::Receive => GuestWl::NetperfRecv {
                     spec: *np,

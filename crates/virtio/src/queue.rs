@@ -85,6 +85,11 @@ pub struct Virtqueue<T> {
     suppressed_kicks: u64,
     interrupts: u64,
     suppressed_interrupts: u64,
+    // --- conservation counters (liveness checking) ---
+    added: u64,
+    popped: u64,
+    completed: u64,
+    reclaimed: u64,
 }
 
 impl<T> Virtqueue<T> {
@@ -108,6 +113,10 @@ impl<T> Virtqueue<T> {
             suppressed_kicks: 0,
             interrupts: 0,
             suppressed_interrupts: 0,
+            added: 0,
+            popped: 0,
+            completed: 0,
+            reclaimed: 0,
         }
     }
 
@@ -140,6 +149,7 @@ impl<T> Virtqueue<T> {
             return Err(payload);
         }
         self.num_free -= 1;
+        self.added += 1;
         let old = self.avail_idx;
         self.avail_idx = self.avail_idx.wrapping_add(1);
         self.avail.push_back(payload);
@@ -172,6 +182,7 @@ impl<T> Virtqueue<T> {
         let p = self.used.pop_front()?;
         self.last_used_idx = self.last_used_idx.wrapping_add(1);
         self.num_free += 1;
+        self.reclaimed += 1;
         Some(p)
     }
 
@@ -230,6 +241,7 @@ impl<T> Virtqueue<T> {
     pub fn device_pop(&mut self) -> Option<T> {
         let p = self.avail.pop_front()?;
         self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
+        self.popped += 1;
         Some(p)
     }
 
@@ -238,6 +250,7 @@ impl<T> Virtqueue<T> {
     pub fn device_push_used(&mut self, payload: T) -> bool {
         let old = self.used_idx;
         self.used_idx = self.used_idx.wrapping_add(1);
+        self.completed += 1;
         self.used.push_back(payload);
 
         // Symmetric to the kick side: a driver that disabled interrupts
@@ -308,6 +321,39 @@ impl<T> Virtqueue<T> {
     /// Completions that needed no interrupt.
     pub fn suppressed_interrupt_count(&self) -> u64 {
         self.suppressed_interrupts
+    }
+
+    // ------------------------------------------------------------------
+    // Conservation counters — the liveness checker's raw material.
+    //
+    // Descriptor flow is a pipeline:
+    //   added ──pop──▶ device processing ──push_used──▶ reclaimed
+    // so at any instant:
+    //   added == popped + avail_pending
+    //   completed == reclaimed + used_pending
+    //   popped - completed == descriptors inside the device
+    // A faulted run that stops making progress shows up as a violation of
+    // "popped - completed" being attributable to in-flight work.
+    // ------------------------------------------------------------------
+
+    /// Buffers the driver ever exposed (successful `driver_add` calls).
+    pub fn added_total(&self) -> u64 {
+        self.added
+    }
+
+    /// Buffers the device ever consumed.
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+
+    /// Buffers the device ever completed back to the driver.
+    pub fn completed_total(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completions the driver ever reclaimed.
+    pub fn reclaimed_total(&self) -> u64 {
+        self.reclaimed
     }
 }
 
@@ -476,6 +522,35 @@ mod tests {
             0,
             "suppressed queue must never interrupt"
         );
+    }
+
+    #[test]
+    fn conservation_counters_track_pipeline_stages() {
+        let mut q = vq(true);
+        for i in 0..5 {
+            q.driver_add(i).unwrap();
+        }
+        assert_eq!(q.added_total(), 5);
+        assert_eq!(q.added_total(), q.popped_total() + q.avail_pending() as u64);
+        let p = q.device_pop().unwrap();
+        let p2 = q.device_pop().unwrap();
+        assert_eq!(q.popped_total(), 2);
+        q.device_push_used(p);
+        q.device_push_used(p2);
+        assert_eq!(q.completed_total(), 2);
+        q.driver_take_used().unwrap();
+        assert_eq!(q.reclaimed_total(), 1);
+        assert_eq!(
+            q.completed_total(),
+            q.reclaimed_total() + q.used_pending() as u64
+        );
+        // A full add fails and must not count.
+        let mut full = vq(true);
+        for i in 0..8 {
+            full.driver_add(i).unwrap();
+        }
+        assert!(full.driver_add(99).is_err());
+        assert_eq!(full.added_total(), 8);
     }
 
     #[test]

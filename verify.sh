@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Tier-1 verification: release build, full test suite, clippy at zero
-# warnings. Run from the repository root.
+# warnings, and the chaos-determinism check. Run from the repository root.
 #
 # Sweep parallelism during tests/benches respects ES2_THREADS
 # (default: all cores; ES2_THREADS=1 forces fully serial sweeps — useful
@@ -11,3 +11,12 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+
+# Chaos determinism: the seeded acceptance fault plan must produce a
+# byte-identical report serial (ES2_THREADS=1) and at the default thread
+# count — fault injection does not break sweep reproducibility.
+ES2_THREADS=1 ./target/release/repro chaos --fast > /tmp/es2_chaos_serial.txt
+./target/release/repro chaos --fast > /tmp/es2_chaos_default.txt
+cmp /tmp/es2_chaos_serial.txt /tmp/es2_chaos_default.txt
+grep -q "liveness: PASS" /tmp/es2_chaos_serial.txt
+rm -f /tmp/es2_chaos_serial.txt /tmp/es2_chaos_default.txt
