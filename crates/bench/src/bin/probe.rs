@@ -1,5 +1,6 @@
 //! Diagnostic probe: run one configuration and dump every counter.
 //! Usage: probe [baseline|pi|pih|pihr] [tcp_send|udp_send|tcp_recv|udp_recv] [quota]
+//!        probe [baseline|pi|pihr] scale [num_vms]   (the --scale consolidation cell)
 
 use es2_core::EventPathConfig;
 use es2_hypervisor::ExitReason;
@@ -39,8 +40,23 @@ fn main() {
     if wl == "ping" {
         params.measure = es2_sim::SimDuration::from_secs(30);
     }
-    let machine = es2_testbed::Machine::new(cfg, topo, spec, params, 1);
-    let (r, snap) = machine.run_with_snapshot();
+    let (r, snap) = if wl == "scale" {
+        // One cell of the repro --scale consolidation sweep, with the
+        // sweep's seed so counters match BENCH_scale.json exactly.
+        let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+        let idx = match cfg_name {
+            "pi" => 1,
+            "pihr" => 2,
+            _ => 0,
+        };
+        let rs = es2_testbed::experiments::scale_specs(n, params, es2_bench::SEED)[idx];
+        let mut per_vm = vec![WorkloadSpec::IdleQuiet; n as usize];
+        per_vm[0] = rs.spec;
+        es2_testbed::Machine::with_specs(rs.cfg, rs.topo, per_vm, rs.params, rs.seed)
+            .run_with_snapshot()
+    } else {
+        es2_testbed::Machine::new(cfg, topo, spec, params, 1).run_with_snapshot()
+    };
     if std::env::var("PROBE_SNAPSHOT").is_ok() {
         eprintln!("{snap}");
     }

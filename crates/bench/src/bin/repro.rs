@@ -24,6 +24,13 @@ use es2_bench::*;
 use es2_sim::SimDuration;
 use es2_testbed::Params;
 
+/// With the `ev-profile` feature on, dump the per-event-kind dispatch
+/// profile accumulated so far to stderr (stdout stays deterministic).
+fn dump_ev_profile() {
+    #[cfg(feature = "ev-profile")]
+    eprintln!("{}", es2_metrics::ev_profile::render(es2_testbed::EV_KIND_NAMES));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -48,6 +55,32 @@ fn main() {
             Ok(()) => eprintln!("wrote BENCH_faults.json"),
             Err(e) => eprintln!("could not write BENCH_faults.json: {e}"),
         }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--scale") {
+        let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json) = perf::scale_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 and the default thread count. The
+        // JSON carries wall-clock numbers; a fast run must not clobber
+        // the committed full-window BENCH_scale.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_scale_fast.json"
+        } else {
+            "BENCH_scale.json"
+        };
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        dump_ev_profile();
         return;
     }
 

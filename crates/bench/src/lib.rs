@@ -389,6 +389,7 @@ pub fn render_chaos(params: Params, seed: u64) -> String {
                 params,
                 seed,
                 faults: plan,
+                fill: WorkloadSpec::Idle,
             }
         })
         .collect();

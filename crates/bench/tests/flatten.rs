@@ -1,0 +1,58 @@
+//! The flattened global job list must be a pure reordering of work, not
+//! a change to it: running every figure's specs through one flattened
+//! grid yields bitwise the results of the old per-figure sweeps, at any
+//! thread count.
+
+use es2_bench::perf::global_job_list;
+use es2_sim::SimDuration;
+use es2_testbed::experiments::run_specs;
+use es2_testbed::{Params, RunResult};
+
+fn tiny_params() -> Params {
+    let mut p = Params::default();
+    p.warmup = SimDuration::from_millis(20);
+    p.measure = SimDuration::from_millis(60);
+    p
+}
+
+/// Render results to their full Debug form — every field participates,
+/// so equality here is bitwise equality of the result structs.
+fn fingerprints(results: &[RunResult]) -> Vec<String> {
+    results.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn flattened_grid_matches_per_figure_sweeps_at_any_thread_count() {
+    let params = tiny_params();
+    let figures = global_job_list(params, es2_bench::SEED, &[256], &[1000.0, 2200.0]);
+    assert!(
+        figures.iter().map(|(_, s)| s.len()).sum::<usize>() >= 15,
+        "grid too small to exercise work stealing"
+    );
+
+    // Reference: the old shape — each figure swept on its own, serial.
+    es2_sim::exec::set_threads(Some(1));
+    let mut per_figure: Vec<String> = Vec::new();
+    for (_, specs) in &figures {
+        per_figure.extend(fingerprints(&run_specs(specs)));
+    }
+
+    let flat: Vec<_> = figures
+        .iter()
+        .flat_map(|(_, specs)| specs.iter().copied())
+        .collect();
+
+    // Flattened, still serial: ordering bookkeeping only.
+    let flat_serial = fingerprints(&run_specs(&flat));
+    assert_eq!(per_figure, flat_serial, "flattening changed serial results");
+
+    // Flattened at the default thread count: the work-stealing executor
+    // must reassemble identical results in input order.
+    es2_sim::exec::set_threads(None);
+    let flat_parallel = fingerprints(&run_specs(&flat));
+    es2_sim::exec::set_threads(Some(1));
+    assert_eq!(
+        per_figure, flat_parallel,
+        "flattened parallel sweep diverged from per-figure serial sweeps"
+    );
+}

@@ -15,6 +15,7 @@
 //! * [`table`] — plain-text table rendering for the repro binaries.
 
 pub mod counter;
+pub mod ev_profile;
 pub mod histogram;
 pub mod modes;
 pub mod summary;

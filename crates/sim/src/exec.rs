@@ -21,8 +21,9 @@
 //! path — no threads are spawned at all, which is also the fallback when
 //! there is only one input.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -37,22 +38,64 @@ pub fn set_threads(n: Option<usize>) {
 /// The number of worker threads [`sweep`] would use for `jobs` inputs.
 pub fn effective_threads(jobs: usize) -> usize {
     let configured = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
-        0 => match std::env::var("ES2_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => default_threads(),
-            },
-            Err(_) => default_threads(),
-        },
+        0 => env_threads(),
         n => n,
     };
     configured.clamp(1, jobs.max(1))
+}
+
+/// `ES2_THREADS` / available-parallelism resolution, parsed once per
+/// process: the flattened global sweeps resolve the thread count per
+/// `sweep` call, and an env lookup + parse on each of those adds up.
+/// The env var cannot change under a running process's feet anyway.
+fn env_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| match std::env::var("ES2_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    })
 }
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A pre-allocated, write-once result slot array.
+///
+/// Each index is written by exactly one worker (the one that claimed it
+/// from the atomic work index) and read only after `thread::scope` joins
+/// every worker, so no per-slot lock is needed: claim disjointness makes
+/// the writes race-free and the scope join is the happens-before edge
+/// that publishes them to the collecting thread.
+struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
+
+// SAFETY: see the invariants above — disjoint writes (unique fetch_add
+// claims), reads only after the writers have been joined.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Store the result for slot `i`.
+    ///
+    /// SAFETY (caller): `i` must be claimed by exactly one worker, once.
+    unsafe fn put(&self, i: usize, r: R) {
+        *self.0[i].get() = Some(r);
+    }
+
+    fn into_results(self) -> impl Iterator<Item = R> {
+        self.0.into_iter().map(|c| {
+            c.into_inner()
+                .expect("worker exited without storing a result")
+        })
+    }
 }
 
 /// Run `f` over every spec in `specs`, in parallel, returning results in
@@ -74,7 +117,7 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let slots = Slots::new(specs.len());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -84,24 +127,21 @@ where
                     break;
                 }
                 let r = f(&specs[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                // SAFETY: `i` came from a unique fetch_add claim, so no
+                // other worker writes this slot; the scope join below
+                // orders the write before any read.
+                unsafe { slots.put(i, r) };
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without storing a result")
-        })
-        .collect()
+    slots.into_results().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     /// Serializes tests that mutate the global thread override.
     static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());

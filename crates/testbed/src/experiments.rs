@@ -32,15 +32,22 @@ pub struct RunSpec {
     /// then the injector stays inert and the run is bit-identical to one
     /// without the fault layer).
     pub faults: FaultPlan,
+    /// What the background (non-tested) VMs run. The paper's multiplexed
+    /// experiments use the §VI-D CPU-burn scripts
+    /// ([`WorkloadSpec::Idle`]); the consolidation sweep fills the host
+    /// with HLT-idle tenants ([`WorkloadSpec::IdleQuiet`]).
+    pub fill: WorkloadSpec,
 }
 
 impl RunSpec {
     /// Execute the run to completion.
     pub fn run(&self) -> RunResult {
-        Machine::new_faulted(
+        let mut specs = vec![self.fill; self.topo.num_vms as usize];
+        specs[0] = self.spec;
+        Machine::with_specs_faulted(
             self.cfg,
             self.topo,
-            self.spec,
+            specs,
             self.params,
             self.seed,
             self.faults,
@@ -103,6 +110,7 @@ pub fn run_one(
         params,
         seed,
         faults: FaultPlan::none(),
+        fill: WorkloadSpec::Idle,
     }
     .run()
 }
@@ -119,6 +127,7 @@ pub fn table1(params: Params, seed: u64) -> Vec<RunResult> {
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     run_specs(&specs)
@@ -167,6 +176,7 @@ pub fn fig4(
         params,
         seed,
         faults: FaultPlan::none(),
+        fill: WorkloadSpec::Idle,
     }];
     for quota in quotas {
         labels.push(format!("quota={quota}"));
@@ -177,6 +187,7 @@ pub fn fig4(
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         });
     }
     labels.into_iter().zip(run_specs(&specs)).collect()
@@ -209,6 +220,7 @@ pub fn fig5(send: bool, udp: bool, params: Params, seed: u64) -> Vec<RunResult> 
         params,
         seed,
         faults: FaultPlan::none(),
+        fill: WorkloadSpec::Idle,
     })
     .collect();
     run_specs(&specs)
@@ -235,6 +247,7 @@ pub fn fig6(send: bool, msg_bytes: u32, params: Params, seed: u64) -> Vec<RunRes
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     run_specs(&specs)
@@ -260,6 +273,7 @@ pub fn fig6_sweep(send: bool, sizes: &[u32], params: Params, seed: u64) -> Vec<(
                 params,
                 seed,
                 faults: FaultPlan::none(),
+                fill: WorkloadSpec::Idle,
             });
         }
     }
@@ -286,6 +300,7 @@ pub fn fig7(params: Params, seed: u64) -> Vec<RunResult> {
         params,
         seed,
         faults: FaultPlan::none(),
+        fill: WorkloadSpec::Idle,
     })
     .collect();
     run_specs(&specs)
@@ -302,6 +317,7 @@ pub fn fig8_memcached(params: Params, seed: u64) -> Vec<RunResult> {
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     run_specs(&specs)
@@ -318,6 +334,7 @@ pub fn fig8_apache(params: Params, seed: u64) -> Vec<RunResult> {
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     run_specs(&specs)
@@ -338,6 +355,7 @@ pub fn fig9(rates: &[f64], params: Params, seed: u64) -> Vec<(f64, Vec<RunResult
                 params,
                 seed,
                 faults: FaultPlan::none(),
+                fill: WorkloadSpec::Idle,
             });
         }
     }
@@ -386,6 +404,7 @@ pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResu
             params: p,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         });
         specs.push(RunSpec {
             cfg,
@@ -394,6 +413,7 @@ pub fn sriov(params: Params, seed: u64) -> Vec<(&'static str, RunResult, RunResu
             params: ping_p,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         });
     }
     let mut results = run_specs(&specs).into_iter();
@@ -431,6 +451,7 @@ pub fn ablation_target_policy(params: Params, seed: u64) -> Vec<(&'static str, R
                 params: p,
                 seed,
                 faults: FaultPlan::none(),
+                fill: WorkloadSpec::Idle,
             }
         })
         .collect();
@@ -462,6 +483,7 @@ pub fn ablation_offline_policy(params: Params, seed: u64) -> Vec<(&'static str, 
                 params: p,
                 seed,
                 faults: FaultPlan::none(),
+                fill: WorkloadSpec::Idle,
             }
         })
         .collect();
@@ -484,6 +506,7 @@ pub fn ablation_mc_quota(params: Params, seed: u64, quotas: &[u32]) -> Vec<(u32,
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     quotas.iter().copied().zip(run_specs(&specs)).collect()
@@ -537,11 +560,58 @@ pub fn stacking_sweep(params: Params, seed: u64) -> Vec<(u32, f64)> {
             params,
             seed,
             faults: FaultPlan::none(),
+            fill: WorkloadSpec::Idle,
         })
         .collect();
     (1..=4)
         .zip(run_specs(&specs).iter().map(offline_fraction))
         .collect()
+}
+
+/// vCPUs per tenant in the `repro --scale` consolidation sweep: every
+/// tenant is a two-vCPU VM and all vCPU threads time-share the first two
+/// cores (the paper's §VI-D multiplexing pushed to fleet density), while
+/// each VM keeps its dedicated vhost core.
+pub const SCALE_VCPUS_PER_VM: u32 = 2;
+
+/// Connection rate served by the single active tenant in the
+/// consolidation sweep — far below the Fig. 9 saturation knee, so the
+/// sweep measures event-path cost under density, not queueing collapse.
+pub const SCALE_HTTPERF_RATE: f64 = 1000.0;
+
+/// Names for the three scale configurations, in [`scale_specs`] order.
+pub const SCALE_CONFIG_NAMES: [&str; 3] = ["baseline", "pi", "es2"];
+
+/// The many-VM consolidation sweep (`repro --scale`) at one VM count:
+/// VM 0 serves httperf while the other `num_vms - 1` tenants sit
+/// HLT-idle, across {Baseline, PI, full ES2}. This is the scenario where
+/// unconditionally re-armed periodic timers dominate the event count —
+/// the host-side analogue of the redundant periodic notifications the
+/// paper removes from the I/O event path.
+pub fn scale_specs(num_vms: u32, mut params: Params, seed: u64) -> Vec<RunSpec> {
+    params.num_cores = SCALE_VCPUS_PER_VM + num_vms;
+    let topo = Topology {
+        num_vms,
+        vcpus_per_vm: SCALE_VCPUS_PER_VM,
+    };
+    [
+        EventPathConfig::baseline(),
+        EventPathConfig::pi(),
+        EventPathConfig::pi_h_r(HybridParams::TCP_QUOTA),
+    ]
+    .into_iter()
+    .map(|cfg| RunSpec {
+        cfg,
+        topo,
+        spec: WorkloadSpec::Httperf {
+            rate: SCALE_HTTPERF_RATE,
+        },
+        params,
+        seed,
+        faults: FaultPlan::none(),
+        fill: WorkloadSpec::IdleQuiet,
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -419,8 +419,21 @@ impl Machine {
                     );
                     return;
                 }
-                // NAPI complete: re-arm RX interrupts.
-                self.vms[vmi].rx.driver_enable_interrupts();
+                // NAPI complete: re-arm RX interrupts. A completion that
+                // raced in during this final pass means the interrupt edge
+                // was suppressed: re-poll instead of sleeping on it.
+                if self.vms[vmi].rx.driver_enable_interrupts() {
+                    self.vms[vmi].rx.driver_disable_interrupts();
+                    let tid = self.vms[vmi].vcpu_tids[idx as usize];
+                    let batch = (self.vms[vmi].rx.used_pending() as u32).min(self.p.napi_weight);
+                    let per_pkt = self.guest_rx_pkt_cost(vm);
+                    self.start_segment(
+                        tid,
+                        SegKind::Irq(IrqKind::Rx { vector, batch }),
+                        per_pkt * batch as u64,
+                    );
+                    return;
+                }
                 self.eoi_sequence(vm, idx);
             }
             IrqKind::TxClean => {

@@ -41,7 +41,7 @@ pub mod results;
 pub mod workload;
 
 pub use liveness::LivenessReport;
-pub use machine::{Machine, Topology};
+pub use machine::{Machine, Topology, EV_KIND_NAMES};
 pub use params::Params;
 pub use results::RunResult;
 pub use workload::WorkloadSpec;

@@ -132,7 +132,7 @@ impl Machine {
             if t > self.end_time {
                 break;
             }
-            self.dispatch(ev);
+            self.dispatch_ev(ev);
         }
         let report = check(&self);
         (RunResult::collect(self), report)

@@ -23,7 +23,7 @@ use es2_hypervisor::{
 };
 use es2_metrics::ModeAccounting;
 use es2_net::{Link, NicQueue, Packet, PacketFactory};
-use es2_sched::{CfsScheduler, CoreId, Switch, ThreadId};
+use es2_sched::{CfsScheduler, CoreId, Switch, ThreadId, ThreadState};
 use es2_sim::{
     DeliveryFault, EventQueue, FaultInjector, FaultPlan, GenToken, SimDuration, SimRng, SimTime,
 };
@@ -290,6 +290,60 @@ pub(crate) enum Ev {
     CloseWindow,
 }
 
+/// Display names for [`Ev`] kinds, indexed by [`Ev::kind_idx`]. Public
+/// so the perf harness can label the `ev-profile` dispatch profile.
+pub const EV_KIND_NAMES: &[&str] = &[
+    "Tick",
+    "SegDone",
+    "GuestTimer",
+    "KickIpi",
+    "PiNotifyIpi",
+    "ArriveAtExt",
+    "ArriveAtHost",
+    "ExtSend",
+    "AckFlush",
+    "HandlerRequeue",
+    "ExtTcpTimeout",
+    "VfIrq",
+    "DelayedKick",
+    "DelayedMsi",
+    "Watchdog",
+    "PreemptStorm",
+    "GuestTcpTimeout",
+    "PiFail",
+    "OpenWindow",
+    "CloseWindow",
+];
+
+impl Ev {
+    /// Dense kind index into [`EV_KIND_NAMES`] (profiling).
+    #[cfg(feature = "ev-profile")]
+    pub(crate) fn kind_idx(&self) -> usize {
+        match self {
+            Ev::Tick(_) => 0,
+            Ev::SegDone { .. } => 1,
+            Ev::GuestTimer { .. } => 2,
+            Ev::KickIpi { .. } => 3,
+            Ev::PiNotifyIpi { .. } => 4,
+            Ev::ArriveAtExt { .. } => 5,
+            Ev::ArriveAtHost { .. } => 6,
+            Ev::ExtSend { .. } => 7,
+            Ev::AckFlush { .. } => 8,
+            Ev::HandlerRequeue { .. } => 9,
+            Ev::ExtTcpTimeout { .. } => 10,
+            Ev::VfIrq { .. } => 11,
+            Ev::DelayedKick { .. } => 12,
+            Ev::DelayedMsi { .. } => 13,
+            Ev::Watchdog => 14,
+            Ev::PreemptStorm => 15,
+            Ev::GuestTcpTimeout { .. } => 16,
+            Ev::PiFail => 17,
+            Ev::OpenWindow => 18,
+            Ev::CloseWindow => 19,
+        }
+    }
+}
+
 /// The full simulated testbed.
 pub struct Machine {
     pub(crate) p: Params,
@@ -299,6 +353,12 @@ pub struct Machine {
     pub(crate) now: SimTime,
     pub(crate) q: EventQueue<Ev>,
     pub(crate) rng: SimRng,
+    /// Dedicated noise stream for scheduler ticks, forked from the main
+    /// stream at construction. Tick parking changes how many noise draws
+    /// happen over a run; keeping those draws off the main stream means
+    /// parking decisions can never shift the randomness any workload,
+    /// jitter or routing consumer sees.
+    rng_tick: SimRng,
     pub(crate) sched: CfsScheduler,
     pub(crate) threads: Vec<ThreadInfo>,
     pub(crate) vms: Vec<VmState>,
@@ -319,6 +379,14 @@ pub struct Machine {
     route_online: Vec<bool>,
     /// Reusable routing scratch (per-vCPU interrupt load).
     route_load: Vec<u64>,
+    /// Per-core flag: true iff an [`Ev::Tick`] for that core is pending.
+    /// The tick chain parks (stops re-arming) while the core has nothing
+    /// runnable — the NOHZ idle analog — and re-arms on the next wake.
+    tick_armed: Vec<bool>,
+    /// Per-vCPU flag (`vm * vcpus_per_vm + idx`): true iff an
+    /// [`Ev::GuestTimer`] for that vCPU is pending. Parks while the vCPU
+    /// is halted with nothing deliverable; re-arms on wake.
+    guest_timer_armed: Vec<bool>,
 }
 
 impl Machine {
@@ -377,6 +445,10 @@ impl Machine {
             "not enough cores for vCPUs + vhost workers"
         );
         let mut rng = SimRng::new(seed);
+        // Per-purpose stream discipline (same idiom as the fault
+        // injector): fork the tick-noise stream before any per-VM seed
+        // draws so its position is fixed by `seed` alone.
+        let rng_tick = rng.fork();
         let mut sched = CfsScheduler::new(params.num_cores as usize, params.sched);
         let mut threads = Vec::new();
         let mut vms = Vec::new();
@@ -508,6 +580,7 @@ impl Machine {
             now: SimTime::ZERO,
             q: EventQueue::with_capacity(params.event_capacity_hint(topo.num_vms, topo.vcpus_per_vm)),
             rng,
+            rng_tick,
             sched,
             threads,
             vms,
@@ -522,6 +595,9 @@ impl Machine {
             modes: ModeAccounting::new(topo.num_vms as usize),
             route_online: Vec::with_capacity(topo.vcpus_per_vm as usize),
             route_load: Vec::with_capacity(topo.vcpus_per_vm as usize),
+            // bootstrap() pushes every chain, so all start armed.
+            tick_armed: vec![true; params.num_cores as usize],
+            guest_timer_armed: vec![true; (topo.num_vms * topo.vcpus_per_vm) as usize],
         };
         m.bootstrap();
         m
@@ -560,9 +636,7 @@ impl Machine {
                 let tid = self.vms[vm].vcpu_tids[i];
                 let nudge = self.rng.gen_range(latency);
                 self.sched.nudge_vruntime(tid, nudge);
-                if let Some(sw) = self.sched.wake(tid, self.now) {
-                    self.apply_switch(sw);
-                }
+                self.wake_thread(tid);
             }
         }
         // External traffic kick-off.
@@ -610,7 +684,7 @@ impl Machine {
         for (i, vm) in self.vms.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "vm{}: tx[avail={} used={} free={} notify_off={}] rx[avail={} used={} notify_off={}] backlog={} blocked_tx_full={} mode={:?} worker_pending={} dropped_tx={}",
+                "vm{}: tx[avail={} used={} free={} notify_off={}] rx[avail={} used={} notify_off={} irq_off={}] backlog={} blocked_tx_full={} mode={:?} worker_pending={} dropped_tx={}",
                 i,
                 vm.tx.avail_pending(),
                 vm.tx.used_pending(),
@@ -619,6 +693,7 @@ impl Machine {
                 vm.rx.avail_pending(),
                 vm.rx.used_pending(),
                 vm.rx.notify_disabled(),
+                vm.rx.interrupts_disabled(),
                 vm.backlog.len(),
                 vm.blocked_tx_full,
                 vm.tx_handler.mode(),
@@ -707,7 +782,7 @@ impl Machine {
             if t > self.end_time {
                 break;
             }
-            self.dispatch(ev);
+            self.dispatch_ev(ev);
         }
         let snap = self.debug_snapshot();
         (RunResult::collect(self), snap)
@@ -721,16 +796,41 @@ impl Machine {
             if t > self.end_time {
                 break;
             }
-            self.dispatch(ev);
+            self.dispatch_ev(ev);
         }
         RunResult::collect(self)
+    }
+
+    /// Dispatch one event, timing its handler into the process-global
+    /// profile. Observational only — results are unchanged by profiling.
+    #[cfg(feature = "ev-profile")]
+    #[inline]
+    pub(crate) fn dispatch_ev(&mut self, ev: Ev) {
+        let idx = ev.kind_idx();
+        let t0 = std::time::Instant::now();
+        self.dispatch(ev);
+        es2_metrics::ev_profile::record(idx, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Dispatch one event (profiling feature off: a plain call).
+    #[cfg(not(feature = "ev-profile"))]
+    #[inline(always)]
+    pub(crate) fn dispatch_ev(&mut self, ev: Ev) {
+        self.dispatch(ev);
     }
 
     pub(crate) fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Tick(core) => {
+                // NOHZ-style idle tick stop: with nothing runnable on the
+                // core there is nothing to preempt or account, so let the
+                // chain die here; the next wake onto this core re-arms it.
+                if self.sched.nr_running(core) == 0 {
+                    self.tick_armed[core.idx()] = false;
+                    return;
+                }
                 let noise = self
-                    .rng
+                    .rng_tick
                     .gen_range(self.p.sched_tick_noise.as_nanos().max(1));
                 if let Some(sw) = self.sched.tick_with_noise(core, self.now, noise) {
                     self.apply_switch(sw);
@@ -744,6 +844,18 @@ impl Machine {
                 }
             }
             Ev::GuestTimer { vm, vcpu } => {
+                // Guest-side NOHZ idle: a halted vCPU with nothing
+                // deliverable gains nothing from its local timer except
+                // a wake/inject/HLT round trip. Park the chain; the next
+                // wake of this vCPU re-arms it.
+                let tid = self.vms[vm as usize].vcpu_tids[vcpu as usize];
+                if self.sched.entity(tid).state == ThreadState::Sleeping
+                    && !self.vms[vm as usize].vcpus[vcpu as usize].has_deliverable()
+                {
+                    let slot = self.timer_slot(vm, vcpu);
+                    self.guest_timer_armed[slot] = false;
+                    return;
+                }
                 self.deliver_to_vcpu(vm, vcpu, LOCAL_TIMER_VECTOR);
                 self.q.push(
                     self.now + self.p.guest_timer_period,
@@ -808,6 +920,11 @@ impl Machine {
     /// Begin a fresh segment on a running thread.
     pub(crate) fn start_segment(&mut self, tid: ThreadId, kind: SegKind, dur: SimDuration) {
         debug_assert!(self.sched.is_running(tid), "segment on a parked thread");
+        debug_assert!(
+            self.threads[tid.idx()].seg.is_none(),
+            "segment would clobber saved work: {:?}",
+            self.threads[tid.idx()].seg
+        );
         let t = &mut self.threads[tid.idx()];
         t.seg = Some(Segment {
             kind,
@@ -921,11 +1038,47 @@ impl Machine {
         }
     }
 
-    /// Wake a thread; apply any resulting context switch.
+    /// Wake a thread; apply any resulting context switch and re-arm any
+    /// periodic timers that parked while everything it feeds was idle.
     pub(crate) fn wake_thread(&mut self, tid: ThreadId) {
+        let was_sleeping = self.sched.entity(tid).state == ThreadState::Sleeping;
         if let Some(sw) = self.sched.wake(tid, self.now) {
             self.apply_switch(sw);
         }
+        if was_sleeping {
+            self.rearm_timers_for(tid);
+        }
+    }
+
+    /// Re-arm parked periodic chains made relevant by `tid` waking: the
+    /// core's scheduler tick, and for vCPU threads the guest's local
+    /// APIC timer. Invariants maintained: `tick_armed[c]` ⇔ an
+    /// `Ev::Tick(c)` is pending, and a core with runnable threads always
+    /// has its tick armed (parking happens only at fire time, when
+    /// `nr_running == 0`; the count only rises through a wake, which
+    /// lands here).
+    fn rearm_timers_for(&mut self, tid: ThreadId) {
+        let core = self.sched.entity(tid).core;
+        if !self.tick_armed[core.idx()] {
+            self.tick_armed[core.idx()] = true;
+            self.q
+                .push(self.now + self.p.sched.tick_period, Ev::Tick(core));
+        }
+        if let Body::Vcpu { vm, idx } = self.threads[tid.idx()].body {
+            let slot = self.timer_slot(vm, idx);
+            if !self.guest_timer_armed[slot] {
+                self.guest_timer_armed[slot] = true;
+                self.q.push(
+                    self.now + self.p.guest_timer_period,
+                    Ev::GuestTimer { vm, vcpu: idx },
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn timer_slot(&self, vm: u32, vcpu: u32) -> usize {
+        (vm * self.topo.vcpus_per_vm + vcpu) as usize
     }
 
     // -----------------------------------------------------------------
@@ -1212,6 +1365,7 @@ impl Machine {
     /// TX kick that became due in IRQ context, then the thread's saved
     /// segment, then the IRQ resume stack, then fresh application work.
     pub(crate) fn resume_or_fresh(&mut self, vm: u32, idx: u32) {
+        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
         if !self.vms[vm as usize].vctx[idx as usize]
             .pending_kicks
             .is_empty()
@@ -1219,10 +1373,17 @@ impl Machine {
             let h = self.vms[vm as usize].vctx[idx as usize]
                 .pending_kicks
                 .remove(0);
+            // The kick exit runs before the interrupted segment resumes:
+            // park any saved segment on the IRQ resume stack so the exit's
+            // start_segment cannot clobber it. (A preempted NAPI poll left
+            // here otherwise vanishes with RX interrupts still masked —
+            // a permanent RX stall once vCPUs contend for cores.)
+            if let Some(seg) = self.clear_seg(tid) {
+                self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
+            }
             self.begin_kick_exit(vm, idx, h);
             return;
         }
-        let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
         if self.threads[tid.idx()].seg.is_some() {
             self.resume_saved(tid, false);
         } else if let Some(seg) = self.vms[vm as usize].vctx[idx as usize].stack.pop() {

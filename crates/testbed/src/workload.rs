@@ -17,7 +17,11 @@ impl WorkloadSpec {
         // sub-millisecond in the paper, which requires HLT + wake-on-
         // interrupt. The throughput-saturation experiments (memcached,
         // apache) follow the §VI-D "burn script in each VM" setup.
-        matches!(self, WorkloadSpec::Httperf { .. })
+        // `IdleQuiet` tenants are HLT-idle by definition.
+        matches!(
+            self,
+            WorkloadSpec::Httperf { .. } | WorkloadSpec::IdleQuiet
+        )
     }
 }
 
@@ -41,6 +45,11 @@ pub enum WorkloadSpec {
     /// No I/O — the VM only runs its CPU-burn script (the background VMs
     /// of the multiplexed experiments).
     Idle,
+    /// No I/O and no CPU-burn script either: a consolidated tenant at
+    /// rest, whose guest HLTs whenever it has nothing to do. The
+    /// background fleet of the `repro --scale` consolidation sweep, where
+    /// most tenants are idle while a few serve traffic.
+    IdleQuiet,
 }
 
 /// A server-side application request decoded by the guest's receive path.
@@ -130,7 +139,7 @@ impl GuestWl {
                     served: 0,
                 }
             }
-            WorkloadSpec::Ping | WorkloadSpec::Idle => GuestWl::Passive,
+            WorkloadSpec::Ping | WorkloadSpec::Idle | WorkloadSpec::IdleQuiet => GuestWl::Passive,
         }
     }
 }
@@ -245,7 +254,7 @@ impl ExtWl {
                 client: HttperfClient::new(*rate, seed),
                 conn_times_ms: Vec::new(),
             },
-            WorkloadSpec::Idle => ExtWl::Idle,
+            WorkloadSpec::Idle | WorkloadSpec::IdleQuiet => ExtWl::Idle,
         }
     }
 }

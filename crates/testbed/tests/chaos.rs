@@ -98,6 +98,7 @@ fn faulted_sweep_is_identical_at_any_thread_count() {
                 params: fast(),
                 seed: 100 + i,
                 faults: FaultPlan::none(),
+                fill: WorkloadSpec::Idle,
             }
             .with_faults(plan)
         })

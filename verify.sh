@@ -20,3 +20,24 @@ ES2_THREADS=1 ./target/release/repro chaos --fast > /tmp/es2_chaos_serial.txt
 cmp /tmp/es2_chaos_serial.txt /tmp/es2_chaos_default.txt
 grep -q "liveness: PASS" /tmp/es2_chaos_serial.txt
 rm -f /tmp/es2_chaos_serial.txt /tmp/es2_chaos_default.txt
+
+# Scale-sweep determinism: the consolidation report (simulation-determined
+# quantities only) must also be byte-identical serial vs default threads,
+# with lazy-timer elision leaving the liveness invariants green.
+ES2_THREADS=1 ./target/release/repro --scale --fast > /tmp/es2_scale_serial.txt
+./target/release/repro --scale --fast > /tmp/es2_scale_default.txt
+cmp /tmp/es2_scale_serial.txt /tmp/es2_scale_default.txt
+grep -q "PASS (0 violations)" /tmp/es2_scale_serial.txt
+rm -f /tmp/es2_scale_serial.txt /tmp/es2_scale_default.txt
+
+# Non-fatal perf tripwire: warn when the fresh fast-mode scale sweep runs
+# below the committed floor (already 2x-margined). Wall-clock noise on a
+# loaded CI box is expected — hence warn, not fail.
+floor=$(sed -n 's/.*"fast_floor_events_per_sec": \([0-9.e+-]*\),*/\1/p' BENCH_scale.json | head -n1)
+fresh=$(sed -n '/"totals"/,/}/s/.*"events_per_sec": \([0-9.e+-]*\).*/\1/p' target/BENCH_scale_fast.json | head -n1)
+awk -v fresh="$fresh" -v floor="$floor" 'BEGIN {
+    if (floor + 0 > 0 && fresh + 0 < floor + 0)
+        printf "WARNING: scale events/sec %s below committed floor %s\n", fresh, floor
+    else
+        printf "scale events/sec %s (floor %s): ok\n", fresh, floor
+}'
