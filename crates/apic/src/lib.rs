@@ -18,13 +18,17 @@
 //!   as the timer.
 //! * [`regs::IrrIsr256`] — the underlying 256-bit pending/in-service
 //!   register file shared by both APIC models.
+//! * [`corr::VectorCorrMap`] — observational correlation-ID sidecar that
+//!   pairs pending vectors with flight-recorder spans.
 
+pub mod corr;
 pub mod lapic;
 pub mod msi;
 pub mod pi;
 pub mod regs;
 pub mod vectors;
 
+pub use corr::VectorCorrMap;
 pub use lapic::EmulatedLapic;
 pub use msi::{DeliveryMode, DestMode, MsiMessage};
 pub use pi::{PiDescriptor, VApicPage};

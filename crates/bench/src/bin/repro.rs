@@ -1,12 +1,25 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast]
+//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast] [--traced]
 //! repro --perf [--fast]
+//! repro --trace [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
 //! absolute rates then drift a little but shapes hold.
+//!
+//! `--trace` runs the event-path flight recorder over two
+//! representative scenarios under Baseline / PI / full ES2 and prints
+//! the per-stage latency decomposition (deterministic — `verify.sh`
+//! diffs it across `ES2_THREADS`). The full JSON lands in
+//! `BENCH_trace.json` (`target/BENCH_trace_fast.json` with `--fast`),
+//! the Chrome-trace export in `target/BENCH_trace_chrome.json`.
+//!
+//! `--traced` turns the flight recorder on for the regular figure runs
+//! without printing anything extra: the figures must come out
+//! byte-identical to an untraced invocation (the tracer's
+//! zero-perturbation contract, also diffed by `verify.sh`).
 //!
 //! `--perf` runs the perf baseline instead: each figure sweep is timed
 //! serial vs parallel and the results land in `BENCH_sweeps.json`
@@ -59,8 +72,36 @@ fn main() {
         return;
     }
 
-    if args.iter().any(|a| a == "--scale") {
+    if args.iter().any(|a| a == "--trace") {
         let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let out = trace::trace_report(params, SEED, fast);
+        // Stdout carries only deterministic quantities: verify.sh diffs
+        // it (and the JSON) between ES2_THREADS=1 and the default.
+        print!("{}", out.report);
+        let path = if fast {
+            "target/BENCH_trace_fast.json"
+        } else {
+            "BENCH_trace.json"
+        };
+        for (p, content) in [(path, &out.json), ("target/BENCH_trace_chrome.json", &out.chrome)] {
+            match std::fs::write(p, content) {
+                Ok(()) => eprintln!("wrote {p}"),
+                Err(e) => eprintln!("could not write {p}: {e}"),
+            }
+        }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--scale") {
+        let mut params = Params {
+            trace: args.iter().any(|a| a == "--traced"),
+            ..Params::default()
+        };
         if fast {
             params.warmup = SimDuration::from_millis(50);
             params.measure = SimDuration::from_millis(200);
@@ -104,7 +145,12 @@ fn main() {
         ];
     }
 
-    let mut params = Params::default();
+    // --traced: flight recorder on, output unchanged — the figures must
+    // be byte-identical to an untraced run (verify.sh checks).
+    let mut params = Params {
+        trace: args.iter().any(|a| a == "--traced"),
+        ..Params::default()
+    };
     if fast {
         params.warmup = SimDuration::from_millis(100);
         params.measure = SimDuration::from_millis(400);

@@ -7,6 +7,7 @@
 //! tests assert the *shapes* (who wins, by what factor).
 
 pub mod perf;
+pub mod trace;
 
 use es2_hypervisor::ExitReason;
 use es2_metrics::table::{fmt_pct, fmt_rate};

@@ -222,7 +222,7 @@ pub fn faults_baseline_json(params: Params, seed: u64, fast: bool) -> String {
     out
 }
 
-fn json_f(x: f64) -> String {
+pub(crate) fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {

@@ -58,4 +58,4 @@ pub use config::{EventPathConfig, HybridParams};
 pub use eli::{EliHazards, EliSharedApic};
 pub use hybrid::{HandlerMode, HybridHandler, PollDecision};
 pub use redirect::{OfflinePolicy, RedirectionEngine, TargetPolicy};
-pub use router::Es2Router;
+pub use router::{Es2Router, RoutedMsi};

@@ -34,18 +34,45 @@ impl Es2Router {
     pub fn engine_mut(&mut self) -> &mut RedirectionEngine {
         &mut self.engine
     }
+
+    /// Route `msg` and report *how* the decision was made — the flight
+    /// recorder's view of the redirection step. The trait's
+    /// [`MsiRouter::route`] delegates here, so traced and untraced runs
+    /// execute the identical computation (same engine state mutations).
+    pub fn route_explained(
+        &mut self,
+        msg: &es2_apic::MsiMessage,
+        ctx: &RouteCtx<'_>,
+    ) -> RoutedMsi {
+        let affinity = self.affinity.route(msg, ctx);
+        let chosen = self
+            .engine
+            .select_target(ctx.vm.0 as usize, msg.vector, affinity.idx);
+        RoutedMsi {
+            target: VcpuId {
+                vm: ctx.vm,
+                idx: chosen,
+            },
+            affinity,
+            redirected: chosen != affinity.idx,
+        }
+    }
+}
+
+/// An MSI routing decision with its provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutedMsi {
+    /// Where the interrupt actually goes.
+    pub target: VcpuId,
+    /// Where stock affinity routing would have sent it.
+    pub affinity: VcpuId,
+    /// True iff the redirection engine overrode the affinity choice.
+    pub redirected: bool,
 }
 
 impl MsiRouter for Es2Router {
     fn route(&mut self, msg: &es2_apic::MsiMessage, ctx: &RouteCtx<'_>) -> VcpuId {
-        let default = self.affinity.route(msg, ctx);
-        let chosen = self
-            .engine
-            .select_target(ctx.vm.0 as usize, msg.vector, default.idx);
-        VcpuId {
-            vm: ctx.vm,
-            idx: chosen,
-        }
+        self.route_explained(msg, ctx).target
     }
 
     fn on_sched_change(&mut self, vcpu: VcpuId, online: bool) {
@@ -95,6 +122,25 @@ mod tests {
             &ctx(&online, &load),
         );
         assert_eq!(dst, VcpuId::new(0, 0), "affinity respected");
+    }
+
+    #[test]
+    fn route_explained_reports_provenance() {
+        let mut r = Es2Router::new(RedirectionEngine::new(1, 4));
+        r.on_sched_change(VcpuId::new(0, 2), true);
+        let online = [false, false, true, false];
+        let load = [0; 4];
+        let routed = r.route_explained(&MsiMessage::fixed(0, 0x41), &ctx(&online, &load));
+        assert_eq!(routed.target, VcpuId::new(0, 2));
+        assert_eq!(routed.affinity, VcpuId::new(0, 0));
+        assert!(routed.redirected);
+
+        let timer = r.route_explained(
+            &MsiMessage::fixed(0, LOCAL_TIMER_VECTOR),
+            &ctx(&online, &load),
+        );
+        assert_eq!(timer.target, timer.affinity);
+        assert!(!timer.redirected);
     }
 
     #[test]

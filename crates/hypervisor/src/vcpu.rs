@@ -92,6 +92,10 @@ pub struct Vcpu {
     pub exits: ExitStats,
     /// Time-in-guest accounting.
     pub tig: TigAccount,
+    /// Flight-recorder correlation IDs for vectors pending on this vCPU.
+    /// Observational only: the delivery path never reads it, and it stays
+    /// empty unless span tracing is on.
+    pub corr: es2_apic::VectorCorrMap,
     interrupts_handled: u64,
 }
 
@@ -108,6 +112,7 @@ impl Vcpu {
             running: false,
             exits: ExitStats::new(),
             tig: TigAccount::new(),
+            corr: es2_apic::VectorCorrMap::new(),
             interrupts_handled: 0,
         }
     }

@@ -20,13 +20,18 @@ pub const MAX_KINDS: usize = 32;
 
 static COUNTS: [AtomicU64; MAX_KINDS] = [const { AtomicU64::new(0) }; MAX_KINDS];
 static NANOS: [AtomicU64; MAX_KINDS] = [const { AtomicU64::new(0) }; MAX_KINDS];
+static OVERFLOW: AtomicU64 = AtomicU64::new(0);
 
 /// Record one dispatched event of kind `idx` whose handler ran `nanos`.
+/// Kinds past [`MAX_KINDS`] cannot be attributed but are counted, so a
+/// grown event enum shows up in the table instead of vanishing.
 #[inline]
 pub fn record(idx: usize, nanos: u64) {
     if idx < MAX_KINDS {
         COUNTS[idx].fetch_add(1, Ordering::Relaxed);
         NANOS[idx].fetch_add(nanos, Ordering::Relaxed);
+    } else {
+        OVERFLOW.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -43,12 +48,18 @@ pub fn snapshot(kinds: usize) -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Events recorded with a kind index ≥ [`MAX_KINDS`] (unattributable).
+pub fn overflow_count() -> u64 {
+    OVERFLOW.load(Ordering::Relaxed)
+}
+
 /// Zero all counters (e.g. between a warmup sweep and a measured one).
 pub fn reset() {
     for i in 0..MAX_KINDS {
         COUNTS[i].store(0, Ordering::Relaxed);
         NANOS[i].store(0, Ordering::Relaxed);
     }
+    OVERFLOW.store(0, Ordering::Relaxed);
 }
 
 /// Render the profile as a table, hottest kind first. `names[i]` labels
@@ -81,5 +92,38 @@ pub fn render(names: &[&str]) -> String {
             format!("{:.1}", 100.0 * ns as f64 / total_ns.max(1) as f64),
         ]);
     }
-    t.render()
+    let overflow = overflow_count();
+    let mut out = t.render();
+    if overflow > 0 {
+        out.push_str(&format!(
+            "WARNING: {overflow} events had kind >= MAX_KINDS ({MAX_KINDS}) and were not attributed\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counters are process-global and other tests in this crate may
+    // run concurrently, so assert on deltas of the overflow counter and
+    // on kind indices no other test uses.
+    #[test]
+    fn out_of_range_kinds_are_counted_not_dropped() {
+        let before = overflow_count();
+        record(MAX_KINDS, 10);
+        record(MAX_KINDS + 7, 10);
+        assert_eq!(overflow_count() - before, 2);
+
+        record(MAX_KINDS - 1, 10);
+        assert_eq!(overflow_count() - before, 2, "in-range records don't overflow");
+
+        let names: Vec<&str> = (0..MAX_KINDS).map(|_| "k").collect();
+        let rendered = render(&names);
+        assert!(
+            rendered.contains("kind >= MAX_KINDS"),
+            "overflow missing from table: {rendered}"
+        );
+    }
 }

@@ -205,6 +205,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        // The representative is capped at the recorded max, so even a
+        // value deep in a wide bucket comes back exactly.
+        for v in [0u64, 1, 31, 32, 1_234_567] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+        }
+    }
+
+    #[test]
+    fn linear_to_log_boundary_values_are_exact() {
+        // 0..32 map linearly; 32..64 sit in the first power-of-two tier
+        // with one value per sub-bucket — all exact. The first lossy
+        // bucket starts at 64.
+        for v in [31u64, 32, 33, 63] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(1.0), v, "v={v}");
+        }
+        // 64 and 65 share a bucket whose representative is 65: quantiles
+        // overestimate within the documented ~3% bucket resolution while
+        // min() stays exact.
+        let mut h = Histogram::new();
+        h.record(64);
+        h.record(65);
+        assert_eq!(h.quantile(0.0), 65);
+        assert_eq!(h.quantile(1.0), 65);
+        assert_eq!(h.min(), 64);
+    }
+
+    #[test]
+    fn quantile_rank_edges_pick_first_and_last_sample() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(10);
+        h.record(20);
+        // q=0 clamps to rank 1 (the smallest sample's bucket); q=1 must
+        // reach the largest.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 20);
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(-1.0), 1);
+        assert_eq!(h.quantile(2.0), 20);
+    }
+
+    #[test]
     fn merge_combines_counts_and_extrema() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

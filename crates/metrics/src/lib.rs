@@ -12,12 +12,15 @@
 //!   times),
 //! * [`summary`] — streaming mean/variance/min/max (Welford),
 //! * [`timeseries`] — sampled `(time, value)` series (Fig. 7's RTT trace),
+//! * [`span`] — the event-path flight recorder: per-interrupt causal
+//!   spans with stage-level latency attribution (`repro --trace`),
 //! * [`table`] — plain-text table rendering for the repro binaries.
 
 pub mod counter;
 pub mod ev_profile;
 pub mod histogram;
 pub mod modes;
+pub mod span;
 pub mod summary;
 pub mod table;
 pub mod tig;
@@ -26,6 +29,7 @@ pub mod timeseries;
 pub use counter::{Counter, RateWindow};
 pub use histogram::Histogram;
 pub use modes::{ModeAccounting, VmModeCounts};
+pub use span::{SpanNotes, SpanRecorder, SpanReport, Stage};
 pub use summary::Summary;
 pub use table::Table;
 pub use tig::TigAccount;

@@ -145,6 +145,13 @@ impl CfsScheduler {
         self.threads[t.idx()].state == ThreadState::Running
     }
 
+    /// Since when `t` has been off-core (preempted or blocked); `None`
+    /// while it is running. The flight recorder uses this to annotate how
+    /// stale an interrupt's target already was at raise time.
+    pub fn descheduled_since(&self, t: ThreadId) -> Option<SimTime> {
+        self.threads[t.idx()].off_core_since
+    }
+
     /// Runnable + running count on `core`.
     pub fn nr_running(&self, core: CoreId) -> u32 {
         self.cores[core.idx()].nr_running
@@ -203,6 +210,7 @@ impl CfsScheduler {
             let e = &mut self.threads[tid.idx()];
             e.state = ThreadState::Running;
             e.ran_since = now;
+            e.off_core_since = None;
             e.switches_in += 1;
             Switch {
                 core,
@@ -220,9 +228,10 @@ impl CfsScheduler {
     }
 
     /// Requeue the running entity as runnable (used on preemption).
-    fn put_prev(&mut self, core: CoreId, cur: ThreadId) {
+    fn put_prev(&mut self, core: CoreId, cur: ThreadId, now: SimTime) {
         let e = &mut self.threads[cur.idx()];
         e.state = ThreadState::Runnable;
+        e.off_core_since = Some(now);
         let v = e.vruntime;
         self.cores[core.idx()].queue.insert((v, cur));
     }
@@ -263,7 +272,7 @@ impl CfsScheduler {
                 let cur_v = self.threads[cur.idx()].vruntime;
                 let new_v = self.threads[t.idx()].vruntime;
                 if cur_v > new_v.saturating_add(gran) {
-                    self.put_prev(core, cur);
+                    self.put_prev(core, cur, now);
                     Some(self.pick_next(core, now, Some(cur)))
                 } else {
                     None
@@ -286,6 +295,7 @@ impl CfsScheduler {
         self.update_curr(core, now);
         let e = &mut self.threads[t.idx()];
         e.state = ThreadState::Sleeping;
+        e.off_core_since = Some(now);
         let w = e.weight;
         let rq = &mut self.cores[core.idx()];
         rq.total_weight -= w as u64;
@@ -329,7 +339,7 @@ impl CfsScheduler {
         if over_slice || (!under_min_gran && far_ahead) {
             // Only preempt if someone else would actually run next.
             if leftmost_v <= cur_v || over_slice {
-                self.put_prev(core, cur);
+                self.put_prev(core, cur, now);
                 return Some(self.pick_next(core, now, Some(cur)));
             }
         }
@@ -345,7 +355,7 @@ impl CfsScheduler {
         if rq.queue.is_empty() {
             return None;
         }
-        self.put_prev(core, cur);
+        self.put_prev(core, cur, now);
         Some(self.pick_next(core, now, Some(cur)))
     }
 
@@ -419,6 +429,30 @@ mod tests {
         let sw = s.block(b, t(6));
         assert_eq!(sw.next, None, "core goes idle");
         assert_eq!(s.current(CoreId(0)), None);
+    }
+
+    #[test]
+    fn off_core_ledger_tracks_transitions() {
+        let mut s = CfsScheduler::new(1, SchedParams::default());
+        let a = s.add_thread(NICE0, CoreId(0));
+        let b = s.add_thread(NICE0, CoreId(0));
+        assert_eq!(s.descheduled_since(a), Some(SimTime::ZERO), "born off-core");
+        s.wake(a, t(0));
+        assert_eq!(s.descheduled_since(a), None, "running");
+        s.wake(b, t(1));
+        s.block(a, t(5));
+        assert_eq!(s.descheduled_since(a), Some(t(5)), "blocked at t+5ms");
+        assert_eq!(s.descheduled_since(b), None, "b switched in");
+        // Waking makes a runnable but not running: the ledger keeps the
+        // original off-core instant (an interrupt targeting a has been
+        // waiting since the block, not since the wake).
+        s.wake(a, t(6));
+        assert_eq!(s.descheduled_since(a), Some(t(5)), "runnable, still off-core");
+        // b leaving the core switches a in and stamps b.
+        let sw = s.block(b, t(9));
+        assert_eq!(sw.next, Some(a));
+        assert_eq!(s.descheduled_since(a), None, "a switched in");
+        assert_eq!(s.descheduled_since(b), Some(t(9)), "b blocked at t+9ms");
     }
 
     #[test]

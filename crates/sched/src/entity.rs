@@ -50,6 +50,10 @@ pub struct SchedEntity {
     pub core: CoreId,
     /// When the thread last started running (valid while `Running`).
     pub ran_since: SimTime,
+    /// When the thread last left a core (preempted or blocked); `None`
+    /// while `Running`. The flight recorder reads this to attribute how
+    /// long an interrupt's target had already been descheduled.
+    pub off_core_since: Option<SimTime>,
     /// Total CPU time consumed.
     pub sum_exec: SimDuration,
     /// Number of times the thread was switched in.
@@ -65,6 +69,7 @@ impl SchedEntity {
             state: ThreadState::Sleeping,
             core,
             ran_since: SimTime::ZERO,
+            off_core_since: Some(SimTime::ZERO),
             sum_exec: SimDuration::ZERO,
             switches_in: 0,
         }

@@ -144,6 +144,69 @@ mod tests {
     }
 
     #[test]
+    fn fills_to_exact_capacity_without_wrapping() {
+        let mut tr = Tracer::new(4);
+        tr.set_enabled(true);
+        for i in 0..4 {
+            tr.record(t(i), "e", i, 0);
+        }
+        // Exactly at capacity: nothing overwritten yet.
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.recorded_total(), 4);
+
+        // One more record evicts exactly the oldest.
+        tr.record(t(4), "e", 4, 0);
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.recorded_total(), 5);
+    }
+
+    #[test]
+    fn recorded_total_keeps_counting_across_many_wraps() {
+        let mut tr = Tracer::new(3);
+        tr.set_enabled(true);
+        for i in 0..1000 {
+            tr.record(t(i), "e", i, 0);
+        }
+        assert_eq!(tr.recorded_total(), 1000);
+        assert_eq!(tr.len(), 3);
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![997, 998, 999]);
+    }
+
+    #[test]
+    fn disable_midstream_freezes_ring_and_total() {
+        let mut tr = Tracer::new(2);
+        tr.set_enabled(true);
+        tr.record(t(0), "e", 0, 0);
+        tr.set_enabled(false);
+        tr.record(t(1), "e", 1, 0);
+        assert_eq!(tr.recorded_total(), 1);
+        assert_eq!(tr.len(), 1);
+        // Re-enabling resumes where the ring left off.
+        tr.set_enabled(true);
+        tr.record(t(2), "e", 2, 0);
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![0, 2]);
+        assert_eq!(tr.recorded_total(), 2);
+    }
+
+    #[test]
+    fn capacity_one_ring_keeps_only_the_newest() {
+        let mut tr = Tracer::new(1);
+        tr.set_enabled(true);
+        for i in 0..5 {
+            tr.record(t(i), "e", i, 0);
+        }
+        let got: Vec<u64> = tr.iter().map(|r| r.a).collect();
+        assert_eq!(got, vec![4]);
+        assert_eq!(tr.recorded_total(), 5);
+    }
+
+    #[test]
     fn dump_contains_tags() {
         let mut tr = Tracer::new(2);
         tr.set_enabled(true);

@@ -359,6 +359,16 @@ impl Machine {
     /// Start the guest handler for `vector` on a vCPU in guest mode.
     pub(crate) fn begin_irq(&mut self, vm: u32, idx: u32, vector: u8) {
         let vmi = vm as usize;
+        if self.spans.is_some() {
+            // Injection point: a traced span (timer vectors never carry
+            // one) closes its delivery stages here; every handler enters
+            // the tracker's nesting ledger either way.
+            let corr = self.vms[vmi].vcpus[idx as usize].corr.take(vector);
+            let w = self.window_open;
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_irq_begin(vm, idx, corr, self.now.as_nanos(), w);
+            }
+        }
         let tid = self.vms[vmi].vcpu_tids[idx as usize];
         let (kind, dur) = if vector == self.vms[vmi].rx_vector {
             // NAPI: mask further RX interrupts, poll a batch.
@@ -454,12 +464,20 @@ impl Machine {
     /// after a mid-run posted→emulated degradation the very same handler
     /// completes through the emulated EOI machinery.
     fn eoi_sequence(&mut self, vm: u32, idx: u32) {
+        if let Some(tr) = self.spans.as_deref_mut() {
+            tr.on_handler_end(vm, idx, self.now.as_nanos(), self.window_open);
+        }
         if self.vms[vm as usize].vcpus[idx as usize].path == InterruptPath::Posted {
             let next = {
                 let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
                 vcpu.eoi();
                 vcpu.take_posted_interrupt()
             };
+            // Virtual-APIC EOI is exit-less and instantaneous in the
+            // model: the span closes with a zero-length EOI stage.
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_eoi_done(vm, idx, self.now.as_nanos(), self.window_open);
+            }
             match next {
                 Some(v) => self.begin_irq(vm, idx, v),
                 None => self.resume_or_fresh(vm, idx),

@@ -22,6 +22,12 @@ impl Machine {
             unreachable!("vhost_continue on a vCPU thread");
         };
         let vmi = vm as usize;
+        if self.spans.is_some() && self.vms[vmi].cur_handler.is_some() {
+            let w = self.window_open;
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_turn_end(vm, self.now.as_nanos(), w);
+            }
+        }
         self.vms[vmi].cur_handler = None;
         match self.vms[vmi].worker.next_work() {
             Some(h) => {
@@ -44,6 +50,15 @@ impl Machine {
     /// Dispatch overhead done: begin the handler's turn.
     pub(crate) fn vhost_begin_turn(&mut self, vm: u32, h: HandlerId) {
         let vmi = vm as usize;
+        if self.spans.is_some() {
+            // Consume the correlation ID riding with the pending kick (if
+            // any): the signal→pickup stage of the request span ends here.
+            let corr = self.vms[vmi].worker.take_kick_corr(h);
+            let w = self.window_open;
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_turn_begin(vm, corr, self.now.as_nanos(), w);
+            }
+        }
         self.vms[vmi].cur_handler = Some(h);
         if h == self.vms[vmi].tx_h {
             let vmst = &mut self.vms[vmi];

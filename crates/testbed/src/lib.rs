@@ -38,6 +38,7 @@ pub mod liveness;
 pub mod machine;
 pub mod params;
 pub mod results;
+mod spans;
 pub mod workload;
 
 pub use liveness::LivenessReport;

@@ -16,6 +16,11 @@ use crate::results::RunResult;
 pub struct LivenessReport {
     /// Human-readable invariant violations; empty means the run is sound.
     pub violations: Vec<String>,
+    /// Post-mortem dump captured when any invariant tripped (empty for a
+    /// sound run): the machine's breadcrumb-tracer ring followed by the
+    /// full `debug_snapshot`, so a chaos failure in CI arrives with the
+    /// state needed to diagnose it instead of just a one-line complaint.
+    pub diagnostics: String,
 }
 
 impl LivenessReport {
@@ -24,12 +29,14 @@ impl LivenessReport {
         self.violations.is_empty()
     }
 
-    /// Panic with the full violation list unless the run is sound.
+    /// Panic with the full violation list (and the post-mortem dump, if
+    /// one was captured) unless the run is sound.
     pub fn assert_ok(&self) {
         assert!(
             self.ok(),
-            "liveness violations:\n  {}",
-            self.violations.join("\n  ")
+            "liveness violations:\n  {}\n{}",
+            self.violations.join("\n  "),
+            self.diagnostics
         );
     }
 
@@ -117,6 +124,24 @@ pub fn check(m: &Machine) -> LivenessReport {
                 vm.tx.added_total()
             ));
         }
+    }
+
+    // Auto-dump on violation: the last breadcrumbs (kicks, MSIs, watchdog
+    // recoveries, degradations) plus the world snapshot. Captured only on
+    // failure so the passing path allocates nothing.
+    if !rep.ok() {
+        use std::fmt::Write as _;
+        let mut d = String::new();
+        let _ = writeln!(
+            d,
+            "--- tracer ring (last {} of {} records) ---",
+            m.tracer.len(),
+            m.tracer.recorded_total()
+        );
+        d.push_str(&m.tracer.dump());
+        let _ = writeln!(d, "--- debug snapshot ---");
+        d.push_str(&m.debug_snapshot());
+        rep.diagnostics = d;
     }
 
     rep

@@ -374,6 +374,13 @@ pub struct Machine {
     pub(crate) faults: FaultInjector,
     /// Per-VM delivery-mode ledger (posted vs emulated, degradations).
     pub(crate) modes: ModeAccounting,
+    /// Event-path flight recorder (`Params::trace`). Strictly
+    /// observational: `None` unless tracing is on, and every hook is
+    /// gated on that so the untraced hot path pays one pointer test.
+    pub(crate) spans: Option<Box<crate::spans::SpanTracker>>,
+    /// Breadcrumb ring for post-mortem dumps, enabled only under an
+    /// active fault plan (the liveness checker dumps it on violation).
+    pub(crate) tracer: es2_sim::trace::Tracer,
     /// Reusable routing scratch (vCPU online flags), refilled per MSI so
     /// the delivery hot path never allocates.
     route_online: Vec<bool>,
@@ -572,6 +579,7 @@ impl Machine {
             .collect();
 
         let end_time = SimTime::ZERO + params.warmup + params.measure;
+        let plan_active = plan.is_active();
         let mut m = Machine {
             p: params,
             cfg,
@@ -593,6 +601,19 @@ impl Machine {
             end_time,
             faults: FaultInjector::new(plan, seed),
             modes: ModeAccounting::new(topo.num_vms as usize),
+            spans: if params.trace {
+                Some(Box::new(crate::spans::SpanTracker::new(
+                    topo.num_vms as usize,
+                    params.trace_events as usize,
+                )))
+            } else {
+                None
+            },
+            tracer: {
+                let mut t = es2_sim::trace::Tracer::new(256);
+                t.set_enabled(plan_active);
+                t
+            },
             route_online: Vec::with_capacity(topo.vcpus_per_vm as usize),
             route_load: Vec::with_capacity(topo.vcpus_per_vm as usize),
             // bootstrap() pushes every chain, so all start armed.
@@ -875,12 +896,16 @@ impl Machine {
             }
             Ev::HandlerRequeue { vm, h } => {
                 let vmi = vm as usize;
+                self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Requeue);
                 self.vms[vmi].worker.queue_work(h);
                 let tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(tid);
             }
             Ev::DelayedKick { vm, h } => {
                 let vmi = vm as usize;
+                self.tracer
+                    .record(self.now, "delay-kick", vm as u64, h.0 as u64);
+                self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Delayed);
                 self.vms[vmi].worker.queue_work(h);
                 let tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(tid);
@@ -1001,6 +1026,9 @@ impl Machine {
             if let Some(r) = &mut self.router {
                 r.on_sched_change(VcpuId::new(vm, idx), false);
             }
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_vcpu_sched_out(vm, idx, now.as_nanos());
+            }
         }
     }
 
@@ -1008,6 +1036,9 @@ impl Machine {
         match self.threads[tid.idx()].body {
             Body::Vcpu { vm, idx } => {
                 self.vms[vm as usize].vcpus[idx as usize].sched_in();
+                if let Some(tr) = self.spans.as_deref_mut() {
+                    tr.on_vcpu_sched_in(vm, idx, self.now.as_nanos());
+                }
                 if let Some(r) = &mut self.router {
                     r.on_sched_change(VcpuId::new(vm, idx), true);
                     self.migrate_parked_irqs(vm, idx);
@@ -1144,6 +1175,13 @@ impl Machine {
     /// rest of the exit processing.
     pub(crate) fn begin_kick_exit(&mut self, vm: u32, idx: u32, h: HandlerId) {
         self.kick_vhost(vm, h);
+        if self.spans.is_some() {
+            let cost = self.p.costs.exit_cost(ExitReason::IoInstruction).as_nanos();
+            let w = self.window_open;
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_kick_exit(vm, cost, w);
+            }
+        }
         self.begin_exit(vm, idx, ExitReason::IoInstruction, AfterExit::Resume);
     }
 
@@ -1152,9 +1190,12 @@ impl Machine {
     /// stays exposed (that is what the watchdog re-kick recovers), and a
     /// kick exit the guest already paid for is still charged by the caller.
     pub(crate) fn kick_vhost(&mut self, vm: u32, h: HandlerId) {
+        self.tracer
+            .record(self.now, "kick", vm as u64, h.0 as u64);
         match self.faults.on_guest_kick() {
             DeliveryFault::Deliver => {
                 let vmi = vm as usize;
+                self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Kick);
                 self.vms[vmi].worker.queue_work(h);
                 let vhost_tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(vhost_tid);
@@ -1163,6 +1204,20 @@ impl Machine {
             DeliveryFault::Delay(extra) => {
                 self.q.push(self.now + extra, Ev::DelayedKick { vm, h });
             }
+        }
+    }
+
+    /// Flight-recorder hook: a kick signal for `(vm, h)` is being queued.
+    #[inline]
+    fn trace_kick_signal(&mut self, vm: u32, h: HandlerId, origin: crate::spans::KickOrigin) {
+        if let Some(tr) = self.spans.as_deref_mut() {
+            tr.on_kick_signal(
+                vm,
+                &mut self.vms[vm as usize].worker,
+                h,
+                origin,
+                self.now.as_nanos(),
+            );
         }
     }
 
@@ -1218,6 +1273,14 @@ impl Machine {
 
     /// Route a device MSI through the configured router and deliver it.
     pub(crate) fn route_and_deliver_msi(&mut self, vm: u32, vector: Vector) {
+        self.route_and_deliver_msi_from(vm, vector, false);
+    }
+
+    /// [`Self::route_and_deliver_msi`] with provenance: `watchdog` marks
+    /// a liveness re-raise so the flight recorder can annotate it.
+    pub(crate) fn route_and_deliver_msi_from(&mut self, vm: u32, vector: Vector, watchdog: bool) {
+        self.tracer
+            .record(self.now, "msi", vm as u64, vector as u64);
         let affinity = self.vms[vm as usize].affinity_vcpu;
         // Refill the reusable scratch buffers instead of allocating fresh
         // snapshot vectors per MSI — this path fires once per device
@@ -1237,9 +1300,14 @@ impl Machine {
             online: &self.route_online,
             irq_load: &self.route_load,
         };
-        let target = match &mut self.router {
-            Some(r) => r.route(&msg, &ctx).idx,
-            None => AffinityRouter.route(&msg, &ctx).idx,
+        let (target, redirected) = match &mut self.router {
+            // `MsiRouter::route` delegates to `route_explained`, so the
+            // traced and untraced paths run the identical computation.
+            Some(r) => {
+                let routed = r.route_explained(&msg, &ctx);
+                (routed.target.idx, routed.redirected)
+            }
+            None => (AffinityRouter.route(&msg, &ctx).idx, false),
         };
         if self.cfg.redirect && !self.vms[vm as usize].vcpus[target as usize].running {
             // Offline prediction: remember the parked interrupt so it can
@@ -1247,7 +1315,56 @@ impl Machine {
             self.vms[vm as usize].parked_irqs.push((target, vector));
             self.vms[vm as usize].parked_count += 1;
         }
+        if self.spans.is_some() {
+            self.trace_msi_raise(vm, target, vector, redirected, watchdog);
+        }
         self.deliver_to_vcpu(vm, target, vector);
+    }
+
+    /// Flight-recorder hook: an MSI for `vector` is about to be delivered
+    /// to `(vm, target)`. Opens an interrupt span keyed by a correlation
+    /// ID stashed in the target's vector sidecar — unless one is already
+    /// pending there (IRR coalescing: the first raise owns the span).
+    /// Runs *before* [`Self::deliver_to_vcpu`] because delivery can chain
+    /// synchronously all the way into `begin_irq`, which closes the
+    /// delivery stage by taking the ID back out.
+    fn trace_msi_raise(
+        &mut self,
+        vm: u32,
+        target: u32,
+        vector: Vector,
+        redirected: bool,
+        watchdog: bool,
+    ) {
+        let vmi = vm as usize;
+        if self.vms[vmi].vcpus[target as usize].corr.peek(vector) != 0 {
+            if let Some(tr) = self.spans.as_deref_mut() {
+                tr.on_msi_coalesced(watchdog);
+            }
+            return;
+        }
+        let running = self.vms[vmi].vcpus[target as usize].running;
+        let tid = self.vms[vmi].vcpu_tids[target as usize];
+        let off_core_ns = self
+            .sched
+            .descheduled_since(tid)
+            .map(|t| self.now.saturating_since(t).as_nanos())
+            .unwrap_or(0);
+        let now_ns = self.now.as_nanos();
+        let corr = match self.spans.as_deref_mut() {
+            Some(tr) => tr.on_msi_raised(
+                vm,
+                target,
+                vector,
+                redirected,
+                running,
+                watchdog,
+                off_core_ns,
+                now_ns,
+            ),
+            None => return,
+        };
+        self.vms[vmi].vcpus[target as usize].corr.set(vector, corr);
     }
 
     /// A vCPU of `vm` just came online: migrate any parked device
@@ -1269,6 +1386,19 @@ impl Machine {
                 if let Some(r) = &mut self.router {
                     // Keep the engine's per-vCPU accounting in step.
                     r.engine_mut().select_target(vmi, vector, online_idx);
+                }
+                if self.spans.is_some() {
+                    // Move the span's correlation ID to the new target and
+                    // close its parked interval: the vCPU it now waits on
+                    // is being scheduled in at this very instant.
+                    let corr = self.vms[vmi].vcpus[tgt as usize].corr.take(vector);
+                    if corr != 0 {
+                        let now_ns = self.now.as_nanos();
+                        if let Some(tr) = self.spans.as_deref_mut() {
+                            tr.on_migrated(corr, online_idx, now_ns);
+                        }
+                        self.vms[vmi].vcpus[online_idx as usize].corr.set(vector, corr);
+                    }
                 }
                 self.deliver_to_vcpu(vm, online_idx, vector);
             }
@@ -1345,6 +1475,9 @@ impl Machine {
                 }
                 AfterExit::Eoi => {
                     self.vms[vm as usize].vcpus[idx as usize].eoi();
+                    if let Some(tr) = self.spans.as_deref_mut() {
+                        tr.on_eoi_done(vm, idx, self.now.as_nanos(), self.window_open);
+                    }
                     self.vm_entry_and_dispatch(vm, idx);
                 }
             },
@@ -1417,6 +1550,9 @@ impl Machine {
                 && self.vms[vmi].cur_handler != Some(tx_h);
             if tx_stuck {
                 self.vms[vmi].watchdog_rekicks += 1;
+                self.tracer
+                    .record(self.now, "wd-rekick", vm as u64, tx_h.0 as u64);
+                self.trace_kick_signal(vm, tx_h, crate::spans::KickOrigin::Watchdog);
                 self.vms[vmi].worker.queue_work(tx_h);
                 let tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(tid);
@@ -1430,6 +1566,9 @@ impl Machine {
                 && self.vms[vmi].cur_handler != Some(rx_h);
             if rx_stuck {
                 self.vms[vmi].watchdog_rekicks += 1;
+                self.tracer
+                    .record(self.now, "wd-rekick", vm as u64, rx_h.0 as u64);
+                self.trace_kick_signal(vm, rx_h, crate::spans::KickOrigin::Watchdog);
                 self.vms[vmi].worker.queue_work(rx_h);
                 let tid = self.vms[vmi].vhost_tid;
                 self.wake_thread(tid);
@@ -1441,7 +1580,9 @@ impl Machine {
             if self.vms[vmi].rx.used_pending() > 0 && !self.vms[vmi].rx.interrupts_disabled() {
                 self.vms[vmi].watchdog_reraises += 1;
                 let vector = self.vms[vmi].rx_vector;
-                self.route_and_deliver_msi(vm, vector);
+                self.tracer
+                    .record(self.now, "wd-reraise", vm as u64, vector as u64);
+                self.route_and_deliver_msi_from(vm, vector, true);
             }
             // Lost TX-completion interrupt: the guest blocked on a full
             // ring, completions are back, interrupts are armed — but the
@@ -1452,7 +1593,9 @@ impl Machine {
             {
                 self.vms[vmi].watchdog_reraises += 1;
                 let vector = self.vms[vmi].tx_vector;
-                self.route_and_deliver_msi(vm, vector);
+                self.tracer
+                    .record(self.now, "wd-reraise", vm as u64, vector as u64);
+                self.route_and_deliver_msi_from(vm, vector, true);
             }
         }
         self.q.push(self.now + self.p.watchdog_period, Ev::Watchdog);
@@ -1488,6 +1631,11 @@ impl Machine {
                 self.vms[vmi].vcpus[idx].degrade_to_emulated();
                 self.faults.note_pi_degradation();
                 self.modes.note_degradation(vmi);
+                self.tracer
+                    .record(self.now, "pi-degrade", vmi as u64, idx as u64);
+                if let Some(tr) = self.spans.as_deref_mut() {
+                    tr.on_degraded(vmi as u32, idx as u32, self.now.as_nanos());
+                }
                 // Vectors that were pending in the posted descriptor now
                 // sit in the emulated IRR; arrange their injection the way
                 // the emulated path would have.

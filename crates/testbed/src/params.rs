@@ -176,6 +176,17 @@ pub struct Params {
     pub warmup: SimDuration,
     /// Measurement window length.
     pub measure: SimDuration,
+
+    // ---- observability ----
+    /// Enable the event-path flight recorder (`es2_metrics::span`):
+    /// correlation-ID spans with per-stage latency histograms, returned
+    /// in `RunResult::spans`. Observational and sim-time only — a traced
+    /// run's figures are bitwise identical to an untraced run's
+    /// (`verify.sh` cmp-checks exactly that).
+    pub trace: bool,
+    /// Capacity of the flight recorder's bounded Chrome-trace event log
+    /// (0 = stage histograms only, no event log).
+    pub trace_events: u32,
 }
 
 impl Default for Params {
@@ -236,6 +247,9 @@ impl Default for Params {
 
             warmup: SimDuration::from_millis(200),
             measure: SimDuration::from_secs(1),
+
+            trace: false,
+            trace_events: 0,
         }
     }
 }

@@ -67,6 +67,10 @@ pub struct RunResult {
     pub watchdog_reraises: u64,
     /// Guest-side TCP retransmission timeouts fired (tested VM).
     pub guest_rtos: u64,
+    /// Flight-recorder report (`Some` iff `Params::trace` was set):
+    /// per-VM per-stage latency histograms, lifecycle notes, and the
+    /// bounded Chrome-trace event log.
+    pub spans: Option<es2_metrics::SpanReport>,
 }
 
 impl RunResult {
@@ -98,7 +102,8 @@ impl RunResult {
         self.rtt_series.iter().map(|&(_, r)| r).sum::<f64>() / self.rtt_series.len() as f64
     }
 
-    pub(crate) fn collect(m: Machine) -> RunResult {
+    pub(crate) fn collect(mut m: Machine) -> RunResult {
+        let spans = m.spans.take().map(|tr| tr.finish());
         let vm0 = &m.vms[0];
         let mut exits = ExitStats::new();
         let mut tig_sum = 0.0;
@@ -204,6 +209,7 @@ impl RunResult {
             watchdog_rekicks: vm0.watchdog_rekicks,
             watchdog_reraises: vm0.watchdog_reraises,
             guest_rtos: vm0.guest_rtos,
+            spans,
         }
     }
 }

@@ -31,6 +31,10 @@ pub struct VhostWorker {
     queued: Vec<bool>,
     wakeups: u64,
     dispatches: u64,
+    /// Flight-recorder correlation ID riding with each handler's pending
+    /// kick (0 = none). Observational only: the work-list logic never
+    /// reads it, and it stays zero unless span tracing is on.
+    kick_corr: Vec<u64>,
 }
 
 impl VhostWorker {
@@ -43,6 +47,7 @@ impl VhostWorker {
     pub fn register_handler(&mut self) -> HandlerId {
         let id = HandlerId(self.queued.len() as u32);
         self.queued.push(false);
+        self.kick_corr.push(0);
         id
     }
 
@@ -104,6 +109,29 @@ impl VhostWorker {
     /// Handler invocations dispatched.
     pub fn dispatch_count(&self) -> u64 {
         self.dispatches
+    }
+
+    /// Attach a flight-recorder correlation ID to `h`'s pending kick.
+    /// Returns `true` if stored; `false` if a kick already owns the slot
+    /// (the signals coalesced — first kick keeps the span).
+    pub fn note_kick_corr(&mut self, h: HandlerId, corr: u64) -> bool {
+        if self.kick_corr[h.idx()] != 0 {
+            return false;
+        }
+        self.kick_corr[h.idx()] = corr;
+        true
+    }
+
+    /// The correlation ID currently riding with `h`'s pending kick
+    /// (0 if none), without consuming it.
+    pub fn kick_corr(&self, h: HandlerId) -> u64 {
+        self.kick_corr[h.idx()]
+    }
+
+    /// Remove and return the correlation ID riding with `h`'s pending
+    /// kick (0 if none) — called when a handler turn begins.
+    pub fn take_kick_corr(&mut self, h: HandlerId) -> u64 {
+        std::mem::take(&mut self.kick_corr[h.idx()])
     }
 }
 
@@ -204,6 +232,18 @@ mod tests {
         w.queue_work(a);
         assert!(w.is_queued(a));
         assert_eq!(w.next_work(), Some(a));
+    }
+
+    #[test]
+    fn kick_corr_rides_with_the_pending_kick() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        assert!(w.note_kick_corr(a, 5), "empty slot stores");
+        assert!(!w.note_kick_corr(a, 6), "coalesced kick keeps first span");
+        assert_eq!(w.take_kick_corr(a), 5);
+        assert_eq!(w.take_kick_corr(a), 0, "taken once");
+        assert_eq!(w.take_kick_corr(b), 0, "independent slots");
     }
 
     #[test]

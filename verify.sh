@@ -10,7 +10,7 @@ set -eux
 
 cargo build --release
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy -q --workspace -- -D warnings
 
 # Chaos determinism: the seeded acceptance fault plan must produce a
 # byte-identical report serial (ES2_THREADS=1) and at the default thread
@@ -29,6 +29,28 @@ ES2_THREADS=1 ./target/release/repro --scale --fast > /tmp/es2_scale_serial.txt
 cmp /tmp/es2_scale_serial.txt /tmp/es2_scale_default.txt
 grep -q "PASS (0 violations)" /tmp/es2_scale_serial.txt
 rm -f /tmp/es2_scale_serial.txt /tmp/es2_scale_default.txt
+
+# Flight-recorder determinism: the --trace stage-latency report (and its
+# JSON) is built from sim-time quantities only, so it must be
+# byte-identical serial vs default threads, and the headline
+# scheduling-delay decomposition must be present.
+ES2_THREADS=1 ./target/release/repro --trace --fast > /tmp/es2_trace_serial.txt
+cp target/BENCH_trace_fast.json /tmp/es2_trace_serial.json
+./target/release/repro --trace --fast > /tmp/es2_trace_default.txt
+cmp /tmp/es2_trace_serial.txt /tmp/es2_trace_default.txt
+cmp /tmp/es2_trace_serial.json target/BENCH_trace_fast.json
+grep -q "sched-delay" /tmp/es2_trace_serial.txt
+rm -f /tmp/es2_trace_serial.txt /tmp/es2_trace_default.txt /tmp/es2_trace_serial.json
+
+# Tracing must not perturb the simulation: figures and the chaos report
+# are byte-identical with the flight recorder on (--traced) and off.
+./target/release/repro chaos --fast > /tmp/es2_untraced.txt
+./target/release/repro chaos --fast --traced > /tmp/es2_traced.txt
+cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
+./target/release/repro table1 fig4 --fast > /tmp/es2_untraced.txt
+./target/release/repro table1 fig4 --fast --traced > /tmp/es2_traced.txt
+cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
+rm -f /tmp/es2_untraced.txt /tmp/es2_traced.txt
 
 # Non-fatal perf tripwire: warn when the fresh fast-mode scale sweep runs
 # below the committed floor (already 2x-margined). Wall-clock noise on a
