@@ -4,6 +4,7 @@
 //! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast] [--traced]
 //! repro --perf [--fast]
 //! repro --trace [--fast]
+//! repro --hostile [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
@@ -27,6 +28,13 @@
 //! re-run clean vs chaos-faulted into `BENCH_faults.json` (fault-layer
 //! overhead + injected-fault counts). Thread count comes from
 //! `ES2_THREADS` (default: all cores).
+//!
+//! `--hostile` runs the hostile-guest blast-radius sweep: one VM runs
+//! ring corruption + doorbell/EOI storms against a backpressured host
+//! while a victim VM shares the cores; the report compares the victim's
+//! goodput and rx p99 against the clean run and prints the containment
+//! ledger. JSON lands in `BENCH_hostile.json`
+//! (`target/BENCH_hostile_fast.json` with `--fast`).
 //!
 //! `chaos` renders the seeded acceptance fault plan swept over the
 //! paper's workload shapes. The output contains only deterministic
@@ -116,6 +124,31 @@ fn main() {
             "target/BENCH_scale_fast.json"
         } else {
             "BENCH_scale.json"
+        };
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--hostile") {
+        let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json) = hostile::hostile_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 and the default thread count. A fast
+        // run must not clobber the committed full-window
+        // BENCH_hostile.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_hostile_fast.json"
+        } else {
+            "BENCH_hostile.json"
         };
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("wrote {path}"),

@@ -1,0 +1,252 @@
+//! Hostile-guest blast-radius benchmark (`repro --hostile`).
+//!
+//! One VM runs the full hostile family from
+//! [`experiments::hostile_plan`] — a ring corruption a few kicks in,
+//! doorbell storms, spurious EOI writes, periodic self-referencing
+//! descriptors — against a backpressured host, while a well-behaved
+//! victim VM shares the cores. The report puts the victim's goodput and
+//! receive tail latency under attack next to the clean run, plus the
+//! containment ledger proving the damage landed on the hostile VM alone.
+//!
+//! Everything in the stdout report is simulation-determined, so its
+//! bytes must not depend on `ES2_THREADS` — `verify.sh` diffs the
+//! serial and default-thread outputs. The JSON (committed as
+//! `BENCH_hostile.json` for full windows) carries the same cells keyed
+//! for downstream diffing.
+
+use es2_core::EventPathConfig;
+use es2_sim::FaultPlan;
+use es2_testbed::experiments::{self};
+use es2_testbed::{BackpressureParams, Machine, Params, RunResult, Topology, WorkloadSpec};
+use es2_workloads::NetperfSpec;
+
+use crate::perf::json_f;
+
+/// The VM index that misbehaves (VM 0 is the measured victim).
+const HOSTILE_VM: u32 = 1;
+
+/// One configuration's clean-vs-hostile pair.
+pub struct HostileCell {
+    pub config: &'static str,
+    pub clean: RunResult,
+    pub hostile: RunResult,
+    pub liveness_ok: bool,
+}
+
+impl HostileCell {
+    /// Victim goodput retained under attack, in percent.
+    pub fn retained_percent(&self) -> f64 {
+        if self.clean.goodput_gbps <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.hostile.goodput_gbps / self.clean.goodput_gbps
+    }
+
+    /// Victim receive p99 under attack over clean, as a ratio.
+    pub fn p99_ratio(&self) -> f64 {
+        let c = self.clean.rx_p99_us_per_vm[0].max(1) as f64;
+        self.hostile.rx_p99_us_per_vm[0].max(1) as f64 / c
+    }
+}
+
+fn run_pair(cfg: EventPathConfig, params: Params, seed: u64) -> HostileCell {
+    let topo = Topology::multiplexed();
+    let specs = || {
+        let mut v = vec![WorkloadSpec::Idle; topo.num_vms as usize];
+        v[0] = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+        v[HOSTILE_VM as usize] = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+        v
+    };
+    let (clean, clean_live) =
+        Machine::with_specs_faulted(cfg, topo, specs(), params, seed, FaultPlan::none())
+            .run_checked();
+    let (hostile, hostile_live) = Machine::with_specs_faulted(
+        cfg,
+        topo,
+        specs(),
+        params,
+        seed,
+        experiments::hostile_plan(HOSTILE_VM),
+    )
+    .run_checked();
+    HostileCell {
+        config: cfg.label(),
+        clean,
+        hostile,
+        liveness_ok: clean_live.ok() && hostile_live.ok(),
+    }
+}
+
+/// Run the blast-radius sweep and return `(deterministic_report, json)`.
+pub fn hostile_report(params: Params, seed: u64, fast: bool) -> (String, String) {
+    use es2_metrics::Table;
+
+    let params = Params {
+        backpressure: Some(BackpressureParams::default()),
+        ..params
+    };
+    let configs: &[EventPathConfig] = if fast {
+        &[EventPathConfig::pi_h(4)]
+    } else {
+        &[
+            EventPathConfig::baseline(),
+            EventPathConfig::pi(),
+            EventPathConfig::pi_h(4),
+        ]
+    };
+    let cells: Vec<HostileCell> = configs
+        .iter()
+        .map(|&cfg| run_pair(cfg, params, seed))
+        .collect();
+
+    let mut t = Table::new(
+        format!(
+            "Hostile guest — VM {HOSTILE_VM} runs ring corruption + kick/EOI storms + desc \
+             loops; VM 0 is the victim (4 VMs time-sharing, seed {seed})"
+        ),
+        &[
+            "config",
+            "clean Gb/s",
+            "hostile Gb/s",
+            "retained %",
+            "p99 clean us",
+            "p99 hostile us",
+            "quarantines",
+            "resets",
+            "throttled",
+            "shed bufs",
+        ],
+    );
+    for c in &cells {
+        let bp = &c.hostile.backpressure;
+        t.row(&[
+            c.config.to_string(),
+            format!("{:.3}", c.clean.goodput_gbps),
+            format!("{:.3}", c.hostile.goodput_gbps),
+            format!("{:.1}", c.retained_percent()),
+            c.clean.rx_p99_us_per_vm[0].to_string(),
+            c.hostile.rx_p99_us_per_vm[0].to_string(),
+            bp.quarantines.to_string(),
+            bp.resets.to_string(),
+            bp.throttled_kicks.to_string(),
+            bp.quarantine_dropped.to_string(),
+        ]);
+    }
+    let mut report = t.render();
+    report.push('\n');
+    for c in &cells {
+        let h = &c.hostile;
+        let hostile_bp = &h.backpressure_per_vm[HOSTILE_VM as usize];
+        let leaked: u64 = h
+            .backpressure_per_vm
+            .iter()
+            .enumerate()
+            .filter(|&(vm, _)| vm != HOSTILE_VM as usize)
+            .map(|(_, b)| b.spurious_kicks + b.spurious_eois + b.quarantines + b.resets)
+            .sum();
+        report.push_str(&format!(
+            "{}: corruptions {} storms {}+{} | hostile VM paid: {} spurious kicks, {} spurious \
+             EOIs, {} throttled | leaked to neighbors: {} | liveness: {}\n",
+            c.config,
+            h.fault_stats.ring_corruptions,
+            h.fault_stats.storm_kicks,
+            h.fault_stats.storm_eois,
+            hostile_bp.spurious_kicks,
+            hostile_bp.spurious_eois,
+            hostile_bp.throttled_kicks,
+            leaked,
+            if c.liveness_ok { "PASS" } else { "FAIL" },
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"harness\": \"repro --hostile\",\n");
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"hostile_vm\": {HOSTILE_VM},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let bp = &c.hostile.backpressure;
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"config\": \"{}\",\n", c.config));
+        json.push_str(&format!(
+            "      \"victim_goodput_clean_gbps\": {},\n",
+            json_f(c.clean.goodput_gbps)
+        ));
+        json.push_str(&format!(
+            "      \"victim_goodput_hostile_gbps\": {},\n",
+            json_f(c.hostile.goodput_gbps)
+        ));
+        json.push_str(&format!(
+            "      \"victim_goodput_retained_percent\": {},\n",
+            json_f(c.retained_percent())
+        ));
+        json.push_str(&format!(
+            "      \"victim_rx_p99_clean_us\": {},\n",
+            c.clean.rx_p99_us_per_vm[0]
+        ));
+        json.push_str(&format!(
+            "      \"victim_rx_p99_hostile_us\": {},\n",
+            c.hostile.rx_p99_us_per_vm[0]
+        ));
+        json.push_str(&format!(
+            "      \"victim_rx_p99_ratio\": {},\n",
+            json_f(c.p99_ratio())
+        ));
+        json.push_str(&format!(
+            "      \"ring_corruptions\": {},\n",
+            c.hostile.fault_stats.ring_corruptions
+        ));
+        json.push_str(&format!(
+            "      \"storm_kicks\": {},\n",
+            c.hostile.fault_stats.storm_kicks
+        ));
+        json.push_str(&format!(
+            "      \"storm_eois\": {},\n",
+            c.hostile.fault_stats.storm_eois
+        ));
+        json.push_str(&format!("      \"quarantines\": {},\n", bp.quarantines));
+        json.push_str(&format!("      \"queue_resets\": {},\n", bp.resets));
+        json.push_str(&format!(
+            "      \"throttled_kicks\": {},\n",
+            bp.throttled_kicks
+        ));
+        json.push_str(&format!(
+            "      \"budget_deferrals\": {},\n",
+            bp.budget_deferrals
+        ));
+        json.push_str(&format!(
+            "      \"quarantine_dropped\": {},\n",
+            bp.quarantine_dropped
+        ));
+        json.push_str("      \"per_vm\": [\n");
+        for (vm, b) in c.hostile.backpressure_per_vm.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{\"vm\": {vm}, \"spurious_kicks\": {}, \"spurious_eois\": {}, \
+                 \"throttled_kicks\": {}, \"quarantines\": {}, \"resets\": {}, \
+                 \"rx_p99_us\": {}}}{}\n",
+                b.spurious_kicks,
+                b.spurious_eois,
+                b.throttled_kicks,
+                b.quarantines,
+                b.resets,
+                c.hostile.rx_p99_us_per_vm[vm],
+                if vm + 1 < c.hostile.backpressure_per_vm.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("      ],\n");
+        json.push_str(&format!(
+            "      \"liveness\": \"{}\"\n",
+            if c.liveness_ok { "pass" } else { "fail" }
+        ));
+        json.push_str(if i + 1 < cells.len() { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    (report, json)
+}

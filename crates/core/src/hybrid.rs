@@ -60,6 +60,13 @@ pub enum PollDecision<T> {
     /// `workload >= quota` (line 15): the caller must requeue the handler
     /// on the I/O thread and end the turn. Notifications stay disabled.
     QuotaExhausted,
+    /// The handler's *service budget* ran out (overload-control extension
+    /// to Algorithm 1): the caller must requeue the handler — typically
+    /// with a penalty delay — and end the turn. Notifications stay
+    /// disabled. Unlike quota exhaustion (fair round-robin slicing), this
+    /// marks a VM that consumed its whole service allocation: the deferred
+    /// work degrades the hog, not its neighbors.
+    BudgetExhausted,
     /// The queue drained below quota (line 19): notifications re-enabled,
     /// handler returns to notification mode and the turn ends.
     Drained,
@@ -71,10 +78,17 @@ pub struct HybridHandler {
     mode: HandlerMode,
     quota: u32,
     workload: u32,
+    /// Per-service-window request allowance (`None` = unlimited, the
+    /// default — overload control off). Replenished externally by
+    /// [`replenish_budget`](Self::replenish_budget).
+    budget: Option<u32>,
+    budget_left: u32,
     // statistics
     turns: u64,
     polled: u64,
     quota_exhaustions: u64,
+    budget_exhaustions: u64,
+    spurious_kicks: u64,
     drains: u64,
     races_caught: u64,
     entered_polling: u64,
@@ -87,9 +101,13 @@ impl HybridHandler {
             mode: HandlerMode::Notification,
             quota: params.quota,
             workload: 0,
+            budget: None,
+            budget_left: 0,
             turns: 0,
             polled: 0,
             quota_exhaustions: 0,
+            budget_exhaustions: 0,
+            spurious_kicks: 0,
             drains: 0,
             races_caught: 0,
             entered_polling: 0,
@@ -130,8 +148,15 @@ impl HybridHandler {
         }
     }
 
-    /// Lines 12–19: one step of the polling loop.
+    /// Lines 12–19: one step of the polling loop, extended with the
+    /// per-VM service-budget check (overload control): an exhausted budget
+    /// ends the turn *before* the quota test so a poll-hogging VM defers
+    /// its own work instead of spending shared I/O-thread time.
     pub fn poll_next<T>(&mut self, vq: &mut Virtqueue<T>) -> PollDecision<T> {
+        if self.budget.is_some() && self.budget_left == 0 && !vq.is_avail_empty() {
+            self.budget_exhaustions += 1;
+            return PollDecision::BudgetExhausted;
+        }
         if self.workload >= self.quota {
             self.quota_exhaustions += 1;
             return PollDecision::QuotaExhausted;
@@ -140,6 +165,7 @@ impl HybridHandler {
             Some(req) => {
                 self.workload += 1;
                 self.polled += 1;
+                self.budget_left = self.budget_left.saturating_sub(1);
                 PollDecision::Process(req)
             }
             None => {
@@ -166,22 +192,52 @@ impl HybridHandler {
         }
     }
 
-    /// Whether a guest kick decision should actually wake the handler:
-    /// in polling mode the virtqueue has notifications disabled, so the
-    /// driver never reports [`KickDecision::Kick`]; this helper documents
-    /// and asserts that coupling for callers.
-    pub fn kick_wakes(&self, decision: KickDecision) -> bool {
+    /// Whether a guest kick decision should actually wake the handler.
+    ///
+    /// In polling mode the virtqueue has notifications disabled, so a
+    /// well-behaved driver never reports [`KickDecision::Kick`] — but a
+    /// *hostile* guest can execute the kick instruction regardless of the
+    /// suppression state (a kick storm). Such a spurious kick is counted
+    /// and ignored: in polling mode progress is owned by the requeue
+    /// machinery, so waking on it would let the storm perturb scheduling.
+    /// (This was a `debug_assert!` before guest input could reach it.)
+    pub fn kick_wakes(&mut self, decision: KickDecision) -> bool {
         match decision {
             KickDecision::Kick => {
-                debug_assert_eq!(
-                    self.mode,
-                    HandlerMode::Notification,
-                    "a kick can only be generated in notification mode"
-                );
-                true
+                if self.mode == HandlerMode::Notification {
+                    true
+                } else {
+                    self.spurious_kicks += 1;
+                    false
+                }
             }
             KickDecision::NoKick => false,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-VM service budget (overload control)
+    // ------------------------------------------------------------------
+
+    /// Enable overload control: at most `limit` requests per service
+    /// window (replenished by [`replenish_budget`](Self::replenish_budget)).
+    /// The budget starts full.
+    pub fn set_service_budget(&mut self, limit: u32) {
+        self.budget = Some(limit);
+        self.budget_left = limit;
+    }
+
+    /// Refill the service budget at the start of a new window. No-op when
+    /// overload control is off.
+    pub fn replenish_budget(&mut self) {
+        if let Some(limit) = self.budget {
+            self.budget_left = limit;
+        }
+    }
+
+    /// Requests left in the current service window (`None` = unlimited).
+    pub fn budget_remaining(&self) -> Option<u32> {
+        self.budget.map(|_| self.budget_left)
     }
 
     /// Watchdog predicate: `true` when the queue holds exposed buffers
@@ -211,6 +267,16 @@ impl HybridHandler {
     /// Turns that ended by quota exhaustion (stayed in polling mode).
     pub fn quota_exhaustion_count(&self) -> u64 {
         self.quota_exhaustions
+    }
+
+    /// Turns that ended because the service budget ran out.
+    pub fn budget_exhaustion_count(&self) -> u64 {
+        self.budget_exhaustions
+    }
+
+    /// Kicks received while already in polling mode (hostile or raced).
+    pub fn spurious_kick_count(&self) -> u64 {
+        self.spurious_kicks
     }
 
     /// Turns that ended by draining (returned to notification mode).
@@ -435,9 +501,72 @@ mod tests {
 
     #[test]
     fn kick_wakes_only_in_notification_mode() {
-        let h = handler(4);
+        let mut h = handler(4);
         assert!(h.kick_wakes(KickDecision::Kick));
         assert!(!h.kick_wakes(KickDecision::NoKick));
+    }
+
+    #[test]
+    fn spurious_kick_in_polling_mode_is_counted_not_fatal() {
+        // A hostile guest executes the kick instruction with notifications
+        // suppressed: the handler must ignore it (progress is requeue-
+        // driven in polling mode) and keep a ledger for the throttle.
+        let mut vq = vq_with(20);
+        let mut h = handler(8);
+        let (_, d) = run_turn(&mut h, &mut vq);
+        assert_eq!(d, PollDecision::QuotaExhausted);
+        assert_eq!(h.mode(), HandlerMode::Polling);
+        assert!(!h.kick_wakes(KickDecision::Kick), "storm kick ignored");
+        assert!(!h.kick_wakes(KickDecision::Kick));
+        assert_eq!(h.spurious_kick_count(), 2);
+        // Legitimate kicks after the drain still wake.
+        while run_turn(&mut h, &mut vq).1 != PollDecision::Drained {}
+        assert!(h.kick_wakes(KickDecision::Kick));
+        assert_eq!(h.spurious_kick_count(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_ends_turn_before_quota() {
+        let mut vq = vq_with(20);
+        let mut h = handler(8);
+        h.set_service_budget(3);
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (3, PollDecision::BudgetExhausted));
+        assert_eq!(h.mode(), HandlerMode::Polling, "stays polling");
+        assert!(vq.notify_disabled());
+        assert_eq!(h.budget_exhaustion_count(), 1);
+        assert_eq!(h.budget_remaining(), Some(0));
+        // Without a replenish the next turn yields immediately.
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (0, PollDecision::BudgetExhausted));
+        // A new service window restores normal operation.
+        h.replenish_budget();
+        assert_eq!(h.budget_remaining(), Some(3));
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (3, PollDecision::BudgetExhausted));
+    }
+
+    #[test]
+    fn exhausted_budget_with_empty_queue_still_drains() {
+        // No pending work to defer: the handler must park in notification
+        // mode rather than spin on BudgetExhausted forever.
+        let mut vq = vq_with(2);
+        let mut h = handler(8);
+        h.set_service_budget(2);
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (2, PollDecision::Drained));
+        assert_eq!(h.mode(), HandlerMode::Notification);
+    }
+
+    #[test]
+    fn unlimited_budget_is_byte_neutral() {
+        // Default handlers (budget off) behave exactly as before.
+        let mut vq = vq_with(10);
+        let mut h = handler(4);
+        assert_eq!(h.budget_remaining(), None);
+        let (n, d) = run_turn(&mut h, &mut vq);
+        assert_eq!((n, d), (4, PollDecision::QuotaExhausted));
+        assert_eq!(h.budget_exhaustion_count(), 0);
     }
 
     proptest! {
@@ -477,7 +606,7 @@ mod tests {
                     match h.poll_next(&mut vq) {
                         PollDecision::Process(_) => polled += 1,
                         PollDecision::Drained => { done = true; break; }
-                        PollDecision::QuotaExhausted => break,
+                        _ => break,
                     }
                 }
                 if done { break; }
@@ -502,7 +631,7 @@ mod tests {
             let mut h = handler(quota);
             let (_, d) = run_turn(&mut h, &mut vq);
             match d {
-                PollDecision::QuotaExhausted =>
+                PollDecision::QuotaExhausted | PollDecision::BudgetExhausted =>
                     prop_assert_eq!(h.mode(), HandlerMode::Polling),
                 PollDecision::Drained =>
                     prop_assert_eq!(h.mode(), HandlerMode::Notification),

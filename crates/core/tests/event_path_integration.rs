@@ -43,7 +43,7 @@ fn guest_to_host_direction_end_to_end() {
             loop {
                 match handler.poll_next(&mut vq) {
                     PollDecision::Process(_) => served += 1,
-                    PollDecision::QuotaExhausted => {
+                    PollDecision::QuotaExhausted | PollDecision::BudgetExhausted => {
                         requeue = true;
                         break;
                     }

@@ -14,8 +14,11 @@
 //! * [`timeseries`] — sampled `(time, value)` series (Fig. 7's RTT trace),
 //! * [`span`] — the event-path flight recorder: per-interrupt causal
 //!   spans with stage-level latency attribution (`repro --trace`),
-//! * [`table`] — plain-text table rendering for the repro binaries.
+//! * [`table`] — plain-text table rendering for the repro binaries,
+//! * [`backpressure`] — the per-VM overload-control ledger (shed kicks,
+//!   deferred poll budget, quarantines) for the hostile-guest experiments.
 
+pub mod backpressure;
 pub mod counter;
 pub mod ev_profile;
 pub mod histogram;
@@ -26,6 +29,7 @@ pub mod table;
 pub mod tig;
 pub mod timeseries;
 
+pub use backpressure::BackpressureStats;
 pub use counter::{Counter, RateWindow};
 pub use histogram::Histogram;
 pub use modes::{ModeAccounting, VmModeCounts};

@@ -43,6 +43,49 @@ pub enum DeliveryFault {
     Delay(SimDuration),
 }
 
+/// The kind of virtio ring corruption a hostile guest publishes.
+///
+/// The injector only *selects* a kind; the virtqueue model translates it
+/// into concrete corrupted ring state (an out-of-range descriptor index, a
+/// bogus avail idx, an over-length or self-referencing chain, a used-ring
+/// overflow claim) and the vhost backend's validation layer is what must
+/// catch it and quarantine the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingCorruptionKind {
+    /// Publish a descriptor index `>= queue size`.
+    DescOutOfRange,
+    /// Jump the avail idx far ahead of the entries actually added.
+    AvailIdxJump,
+    /// Move the avail idx *backwards* past entries the device consumed.
+    AvailIdxRegress,
+    /// Publish a self-referencing descriptor chain (`next == head`).
+    DescLoop,
+    /// Publish a chain one past the queue-size limit.
+    ChainOverLength,
+    /// Claim more used entries outstanding than the ring can hold.
+    UsedOverflow,
+}
+
+/// Decision for one guest kick exit on the hostile VM: how many *extra*
+/// spurious doorbell kicks to fire after the real one, and whether to
+/// corrupt the ring before the backend next looks at it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostileKick {
+    /// Spurious kick exits the guest performs after the real kick (each
+    /// costs the hostile guest a full I/O-instruction exit).
+    pub extra_kicks: u32,
+    /// Ring corruption to publish, if any.
+    pub corruption: Option<RingCorruptionKind>,
+}
+
+impl HostileKick {
+    /// The well-behaved decision: no storm, no corruption.
+    pub const NONE: HostileKick = HostileKick {
+        extra_kicks: 0,
+        corruption: None,
+    };
+}
+
 /// What to do with a single packet crossing a link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PacketFault {
@@ -100,6 +143,32 @@ pub struct FaultPlan {
     pub pi_unavailable_mask: u64,
     /// When, relative to run start, the masked VMs lose PI.
     pub pi_fail_after: SimDuration,
+
+    // ---- hostile-guest family ----
+    /// The VM index that misbehaves. Every hostile fault class below
+    /// applies to this VM only — the isolation suite asserts that the
+    /// blast radius stays confined to it.
+    pub hostile_vm: u32,
+    /// Corrupt the ring on the N-th kick exit of the hostile VM
+    /// (1-based; 0 disables). Deterministic — no RNG draw — so a test can
+    /// pin the corruption to an exact guest operation.
+    pub ring_corrupt_at_kick: u64,
+    /// Which corruption [`ring_corrupt_at_kick`](Self::ring_corrupt_at_kick)
+    /// publishes.
+    pub ring_corruption: RingCorruptionKind,
+    /// P(a kick exit is followed by a spurious doorbell storm) per hostile
+    /// kick.
+    pub kick_storm_p: f64,
+    /// Spurious kicks per storm burst.
+    pub kick_storm_burst: u32,
+    /// P(an EOI is followed by spurious EOI writes) per hostile EOI.
+    pub eoi_storm_p: f64,
+    /// Spurious EOI writes per storm burst (each is an APIC-access exit on
+    /// the emulated path).
+    pub eoi_storm_burst: u32,
+    /// P(the hostile guest publishes a self-referencing descriptor) per
+    /// kick, evaluated after the storm draw.
+    pub desc_loop_p: f64,
 }
 
 impl FaultPlan {
@@ -123,6 +192,14 @@ impl FaultPlan {
             preempt_storm_p: 0.0,
             pi_unavailable_mask: 0,
             pi_fail_after: SimDuration::ZERO,
+            hostile_vm: 0,
+            ring_corrupt_at_kick: 0,
+            ring_corruption: RingCorruptionKind::DescOutOfRange,
+            kick_storm_p: 0.0,
+            kick_storm_burst: 0,
+            eoi_storm_p: 0.0,
+            eoi_storm_burst: 0,
+            desc_loop_p: 0.0,
         }
     }
 
@@ -138,6 +215,17 @@ impl FaultPlan {
             || self.pkt_reorder_p > 0.0
             || (!self.preempt_storm_period.is_zero() && self.preempt_storm_p > 0.0)
             || self.pi_unavailable_mask != 0
+            || self.hostile_active()
+    }
+
+    /// Whether any hostile-guest fault class is enabled. Existing chaos
+    /// plans leave all of these zero, so their runs (and reports) are
+    /// untouched by the hostile machinery.
+    pub fn hostile_active(&self) -> bool {
+        self.ring_corrupt_at_kick > 0
+            || (self.kick_storm_p > 0.0 && self.kick_storm_burst > 0)
+            || (self.eoi_storm_p > 0.0 && self.eoi_storm_burst > 0)
+            || self.desc_loop_p > 0.0
     }
 
     /// Whether VM `vm` is scheduled to lose posted-interrupt hardware.
@@ -166,6 +254,13 @@ pub struct FaultStats {
     pub pkts_reordered: u64,
     pub storm_preemptions: u64,
     pub pi_degradations: u64,
+    /// Ring corruptions published by the hostile guest (deterministic
+    /// triggers and descriptor-loop draws combined).
+    pub ring_corruptions: u64,
+    /// Spurious doorbell kicks fired by kick storms.
+    pub storm_kicks: u64,
+    /// Spurious EOI writes fired by EOI storms.
+    pub storm_eois: u64,
 }
 
 impl FaultStats {
@@ -181,6 +276,9 @@ impl FaultStats {
             + self.pkts_reordered
             + self.storm_preemptions
             + self.pi_degradations
+            + self.ring_corruptions
+            + self.storm_kicks
+            + self.storm_eois
     }
 }
 
@@ -195,6 +293,11 @@ pub struct FaultInjector {
     msi_rng: SimRng,
     pkt_rng: SimRng,
     storm_rng: SimRng,
+    hostile_kick_rng: SimRng,
+    hostile_eoi_rng: SimRng,
+    /// Kick exits seen from the hostile VM (drives the deterministic
+    /// corrupt-at-Nth-kick trigger).
+    hostile_kicks_seen: u64,
     stats: FaultStats,
 }
 
@@ -205,6 +308,9 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
         let mut root = SimRng::new(seed ^ plan.salt ^ 0xFA17_FA17_FA17_FA17);
         let active = plan.is_active();
+        // Fork order is part of the determinism contract: the hostile
+        // streams fork *after* every pre-existing stream so adding them
+        // left the seeds of the older injection points unchanged.
         FaultInjector {
             plan,
             active,
@@ -213,6 +319,9 @@ impl FaultInjector {
             msi_rng: root.fork(),
             pkt_rng: root.fork(),
             storm_rng: root.fork(),
+            hostile_kick_rng: root.fork(),
+            hostile_eoi_rng: root.fork(),
+            hostile_kicks_seen: 0,
             stats: FaultStats::default(),
         }
     }
@@ -322,6 +431,57 @@ impl FaultInjector {
     pub fn note_pi_degradation(&mut self) {
         self.stats.pi_degradations += 1;
     }
+
+    /// Decide what the hostile guest does around one kick exit of VM
+    /// `vm`: zero extra work for well-behaved VMs (and zero RNG draws —
+    /// the per-VM gate sits before every draw, so enabling hostility on
+    /// one VM cannot shift any other VM's behaviour).
+    pub fn on_hostile_kick(&mut self, vm: u32) -> HostileKick {
+        if !self.active || vm != self.plan.hostile_vm || !self.plan.hostile_active() {
+            return HostileKick::NONE;
+        }
+        self.hostile_kicks_seen += 1;
+        let mut decision = HostileKick::NONE;
+        if self.plan.kick_storm_p > 0.0
+            && self.plan.kick_storm_burst > 0
+            && self.hostile_kick_rng.gen_bool(self.plan.kick_storm_p)
+        {
+            decision.extra_kicks = self.plan.kick_storm_burst;
+            self.stats.storm_kicks += decision.extra_kicks as u64;
+        }
+        // The deterministic trigger outranks the probabilistic one so a
+        // test can pin the corruption kind to an exact operation.
+        if self.plan.ring_corrupt_at_kick > 0
+            && self.hostile_kicks_seen == self.plan.ring_corrupt_at_kick
+        {
+            decision.corruption = Some(self.plan.ring_corruption);
+            self.stats.ring_corruptions += 1;
+        } else if self.plan.desc_loop_p > 0.0
+            && self.hostile_kick_rng.gen_bool(self.plan.desc_loop_p)
+        {
+            decision.corruption = Some(RingCorruptionKind::DescLoop);
+            self.stats.ring_corruptions += 1;
+        }
+        decision
+    }
+
+    /// Extra spurious EOI writes the hostile guest performs after one real
+    /// EOI of VM `vm` (0 for well-behaved VMs, with zero RNG draws).
+    pub fn on_hostile_eoi(&mut self, vm: u32) -> u32 {
+        if !self.active
+            || vm != self.plan.hostile_vm
+            || self.plan.eoi_storm_p <= 0.0
+            || self.plan.eoi_storm_burst == 0
+        {
+            return 0;
+        }
+        if self.hostile_eoi_rng.gen_bool(self.plan.eoi_storm_p) {
+            self.stats.storm_eois += self.plan.eoi_storm_burst as u64;
+            self.plan.eoi_storm_burst
+        } else {
+            0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +527,8 @@ mod tests {
             assert_eq!(inj.on_packet(), PacketFault::Deliver);
             assert_eq!(inj.on_worker_dispatch(), None);
             assert!(inj.on_storm_tick(8).is_empty());
+            assert_eq!(inj.on_hostile_kick(0), HostileKick::NONE);
+            assert_eq!(inj.on_hostile_eoi(0), 0);
         }
         // No RNG state advanced: the clean path is draw-free.
         assert_eq!(before, format!("{:?}", inj.kick_rng));
@@ -445,6 +607,127 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(inj.on_guest_kick(), DeliveryFault::Drop);
         }
+    }
+
+    fn hostile_plan() -> FaultPlan {
+        FaultPlan {
+            hostile_vm: 2,
+            ring_corrupt_at_kick: 5,
+            ring_corruption: RingCorruptionKind::AvailIdxJump,
+            kick_storm_p: 0.2,
+            kick_storm_burst: 8,
+            eoi_storm_p: 0.2,
+            eoi_storm_burst: 4,
+            desc_loop_p: 0.01,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn hostile_fields_activate_the_plan() {
+        assert!(hostile_plan().is_active());
+        assert!(hostile_plan().hostile_active());
+        assert!(!chaos_plan().hostile_active(), "chaos plan must stay hostile-free");
+        assert!(
+            FaultPlan {
+                ring_corrupt_at_kick: 1,
+                ..FaultPlan::none()
+            }
+            .is_active()
+        );
+    }
+
+    #[test]
+    fn hostile_decisions_target_only_the_hostile_vm() {
+        let mut inj = FaultInjector::new(hostile_plan(), 42);
+        let before = format!("{:?}", inj.hostile_kick_rng);
+        for vm in [0u32, 1, 3, 7] {
+            for _ in 0..200 {
+                assert_eq!(inj.on_hostile_kick(vm), HostileKick::NONE);
+                assert_eq!(inj.on_hostile_eoi(vm), 0);
+            }
+        }
+        // Non-target VMs drew nothing: the hostile stream is untouched.
+        assert_eq!(before, format!("{:?}", inj.hostile_kick_rng));
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn corruption_fires_exactly_once_at_the_chosen_kick() {
+        let plan = FaultPlan {
+            hostile_vm: 1,
+            ring_corrupt_at_kick: 3,
+            ring_corruption: RingCorruptionKind::DescOutOfRange,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 9);
+        let decisions: Vec<HostileKick> = (0..10).map(|_| inj.on_hostile_kick(1)).collect();
+        for (i, d) in decisions.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(d.corruption, Some(RingCorruptionKind::DescOutOfRange));
+            } else {
+                assert_eq!(d.corruption, None, "kick {i}");
+            }
+            assert_eq!(d.extra_kicks, 0, "no storm enabled");
+        }
+        assert_eq!(inj.stats().ring_corruptions, 1);
+    }
+
+    #[test]
+    fn hostile_streams_are_isolated_from_existing_points() {
+        // Hostile draws must not shift the pre-existing streams (their
+        // forks happen after every old stream) and vice versa.
+        let plan = FaultPlan {
+            kick_drop_p: 0.1,
+            ..hostile_plan()
+        };
+        let mut lone = FaultInjector::new(plan, 7);
+        let mut mixed = FaultInjector::new(plan, 7);
+        let solo: Vec<DeliveryFault> = (0..500).map(|_| lone.on_guest_kick()).collect();
+        let interleaved: Vec<DeliveryFault> = (0..500)
+            .map(|_| {
+                mixed.on_hostile_kick(2);
+                mixed.on_hostile_eoi(2);
+                mixed.on_guest_kick()
+            })
+            .collect();
+        assert_eq!(solo, interleaved);
+
+        // And the old streams seed identically whether or not the hostile
+        // family is enabled at all.
+        let mut plain = FaultInjector::new(chaos_plan(), 3);
+        let mut with_hostile = FaultInjector::new(
+            FaultPlan {
+                kick_storm_p: 0.5,
+                kick_storm_burst: 4,
+                hostile_vm: 9,
+                ..chaos_plan()
+            },
+            3,
+        );
+        for _ in 0..500 {
+            assert_eq!(plain.on_guest_kick(), with_hostile.on_guest_kick());
+            assert_eq!(plain.on_packet(), with_hostile.on_packet());
+        }
+    }
+
+    #[test]
+    fn storm_bursts_are_sized_and_counted() {
+        let plan = FaultPlan {
+            hostile_vm: 0,
+            kick_storm_p: 1.0,
+            kick_storm_burst: 6,
+            eoi_storm_p: 1.0,
+            eoi_storm_burst: 3,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 5);
+        for _ in 0..10 {
+            assert_eq!(inj.on_hostile_kick(0).extra_kicks, 6);
+            assert_eq!(inj.on_hostile_eoi(0), 3);
+        }
+        assert_eq!(inj.stats().storm_kicks, 60);
+        assert_eq!(inj.stats().storm_eois, 30);
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod time;
 pub mod token;
 pub mod trace;
 
-pub use faults::{DeliveryFault, FaultInjector, FaultPlan, FaultStats, PacketFault};
+pub use faults::{
+    DeliveryFault, FaultInjector, FaultPlan, FaultStats, HostileKick, PacketFault,
+    RingCorruptionKind,
+};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

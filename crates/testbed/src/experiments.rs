@@ -95,6 +95,25 @@ pub fn chaos_plan() -> FaultPlan {
     }
 }
 
+/// The canonical hostile-guest plan used by the isolation suite and
+/// `repro --hostile`: VM `vm` corrupts its TX ring a few kicks in, then
+/// keeps hammering with doorbell storms, spurious EOI writes, and
+/// periodic self-referencing descriptors after the reset. Everything is
+/// keyed to `vm`; other VMs draw nothing from the hostile streams.
+pub fn hostile_plan(vm: u32) -> FaultPlan {
+    FaultPlan {
+        hostile_vm: vm,
+        ring_corrupt_at_kick: 20,
+        ring_corruption: es2_sim::RingCorruptionKind::DescOutOfRange,
+        kick_storm_p: 0.05,
+        kick_storm_burst: 8,
+        eoi_storm_p: 0.05,
+        eoi_storm_burst: 4,
+        desc_loop_p: 0.002,
+        ..FaultPlan::none()
+    }
+}
+
 /// Run one configuration of one workload on a topology.
 pub fn run_one(
     cfg: EventPathConfig,

@@ -467,6 +467,18 @@ impl Machine {
         if let Some(tr) = self.spans.as_deref_mut() {
             tr.on_handler_end(vm, idx, self.now.as_nanos(), self.window_open);
         }
+        // Hostile-guest hook: the plan's target VM may follow the real EOI
+        // with a burst of spurious EOI writes. The vAPIC absorbs them
+        // exit-free; on the emulated path each write is one more
+        // APIC-access exit, drained after the real EOI exit completes.
+        // Well-behaved VMs take the zero fast path with zero RNG draws.
+        let storm = self.faults.on_hostile_eoi(vm);
+        if storm > 0 {
+            self.vms[vm as usize].bp.spurious_eois += storm as u64;
+            if self.vms[vm as usize].vcpus[idx as usize].path != InterruptPath::Posted {
+                self.vms[vm as usize].vctx[idx as usize].pending_spurious_eois += storm;
+            }
+        }
         if self.vms[vm as usize].vcpus[idx as usize].path == InterruptPath::Posted {
             let next = {
                 let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
@@ -494,9 +506,9 @@ impl Machine {
     /// Apply the protocol effect of one received packet (inside NAPI).
     fn guest_rx_effect(&mut self, vm: u32, idx: u32, pkt: Packet) {
         let vmi = vm as usize;
-        self.vms[vmi]
-            .rx_latency
-            .add(self.now.saturating_since(pkt.created_at).as_micros_f64());
+        let us = self.now.saturating_since(pkt.created_at).as_micros_f64();
+        self.vms[vmi].rx_latency.add(us);
+        self.vms[vmi].rx_hist.record(us as u64);
         match pkt.kind {
             PacketKind::Data => {
                 let win = self.window_open;

@@ -60,7 +60,33 @@ impl Machine {
             }
         }
         self.vms[vmi].cur_handler = Some(h);
-        if h == self.vms[vmi].tx_h {
+        let is_tx = h == self.vms[vmi].tx_h;
+        // Guest trust boundary: validate any ring state the guest claims
+        // before the backend touches this queue. A violation quarantines
+        // the queue (the `DEVICE_NEEDS_RESET` analog) instead of
+        // panicking; every other VM's queues keep full service.
+        let verdict = {
+            let vmst = &mut self.vms[vmi];
+            let q = if is_tx { &mut vmst.tx } else { &mut vmst.rx };
+            q.device_validate()
+        };
+        if let Err(err) = verdict {
+            self.quarantine_queue(vm, h, err);
+            let tid = self.vms[vmi].vhost_tid;
+            self.vhost_continue(tid);
+            return;
+        }
+        if is_tx {
+            // Lazy per-window service-budget replenish: no periodic event
+            // is scheduled (the clean event stream stays identical) — the
+            // window index is recomputed at each turn start.
+            if let Some(bp) = self.p.backpressure {
+                let w = self.now.as_nanos() / bp.budget_window.as_nanos().max(1);
+                if w != self.vms[vmi].budget_window_idx {
+                    self.vms[vmi].budget_window_idx = w;
+                    self.vms[vmi].tx_handler.replenish_budget();
+                }
+            }
             let vmst = &mut self.vms[vmi];
             vmst.tx_handler.begin_turn(&mut vmst.tx);
             self.vhost_tx_step(vm);
@@ -68,6 +94,36 @@ impl Machine {
             self.vms[vmi].rx_turn = 0;
             self.vhost_rx_step(vm);
         }
+    }
+
+    /// Quarantine one queue of `vm` after a ring-validation violation:
+    /// drain and break the queue, drop the handler's pending work, and
+    /// schedule the guest-side reset handshake. Service for every other
+    /// queue (and every other VM) continues untouched.
+    fn quarantine_queue(&mut self, vm: u32, h: HandlerId, err: es2_virtio::RingError) {
+        let vmi = vm as usize;
+        let is_tx = h == self.vms[vmi].tx_h;
+        let dropped = {
+            let vmst = &mut self.vms[vmi];
+            let q = if is_tx { &mut vmst.tx } else { &mut vmst.rx };
+            q.quarantine()
+        };
+        self.vms[vmi].bp.quarantines += 1;
+        self.vms[vmi].bp.quarantine_dropped += dropped as u64;
+        self.vms[vmi].worker.quarantine(h);
+        let label = match err {
+            es2_virtio::RingError::DescOutOfRange { .. } => "quarantine:desc-oob",
+            es2_virtio::RingError::AvailIdxJump { .. } => "quarantine:avail-jump",
+            es2_virtio::RingError::AvailIdxRegress { .. } => "quarantine:avail-regress",
+            es2_virtio::RingError::DescChainLoop { .. } => "quarantine:desc-loop",
+            es2_virtio::RingError::ChainTooLong { .. } => "quarantine:chain-long",
+            es2_virtio::RingError::UsedOverflow { .. } => "quarantine:used-overflow",
+        };
+        self.tracer.record(self.now, label, vm as u64, h.0 as u64);
+        self.q.push(
+            self.now + self.p.quarantine_reset_delay,
+            Ev::GuestQueueReset { vm, h },
+        );
     }
 
     /// One step of the TX handler's polling loop (Algorithm 1 lines
@@ -90,6 +146,26 @@ impl Machine {
                 let at = self.now + self.p.vhost_requeue_gap;
                 self.q
                     .push(at, crate::machine::Ev::HandlerRequeue { vm, h });
+                self.vhost_continue(tid);
+            }
+            PollDecision::BudgetExhausted => {
+                // The VM's per-window service budget is spent: its
+                // remaining queue work waits for the next window. Only
+                // this VM is deferred — the worker immediately serves
+                // other handlers or sleeps.
+                vmst.bp.budget_deferrals += 1;
+                let h = vmst.tx_h;
+                let wns = self
+                    .p
+                    .backpressure
+                    .map(|b| b.budget_window.as_nanos())
+                    .unwrap_or(self.p.vhost_requeue_gap.as_nanos())
+                    .max(1);
+                let next_window = (self.now.as_nanos() / wns + 1) * wns;
+                self.q.push(
+                    es2_sim::SimTime::ZERO + es2_sim::SimDuration::from_nanos(next_window),
+                    crate::machine::Ev::HandlerRequeue { vm, h },
+                );
                 self.vhost_continue(tid);
             }
             PollDecision::Drained => {
@@ -151,8 +227,17 @@ impl Machine {
                 return;
             }
         }
-        let _buffer = self.vms[vmi].rx.device_pop().expect("buffer available");
-        let pkt = self.vms[vmi].backlog.pop().expect("backlog non-empty");
+        // Graceful refusal instead of panicking on "impossible" states: a
+        // quarantined queue returns no buffers even when `avail_pending`
+        // said otherwise a moment ago, and the turn simply ends.
+        let Some(_buffer) = self.vms[vmi].rx.device_pop() else {
+            self.vhost_continue(tid);
+            return;
+        };
+        let Some(pkt) = self.vms[vmi].backlog.pop() else {
+            self.vhost_continue(tid);
+            return;
+        };
         let cost = self.p.vhost_rx_cost(pkt.bytes);
         self.start_segment(tid, SegKind::VhostRxPkt { pkt }, cost);
     }

@@ -30,6 +30,7 @@
 //! println!("TIG = {:.1}%  exits/s = {:.0}", result.tig_percent, result.total_exit_rate());
 //! ```
 
+pub mod backpressure;
 pub mod experiments;
 mod external;
 mod guest;
@@ -43,6 +44,6 @@ pub mod workload;
 
 pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology, EV_KIND_NAMES};
-pub use params::Params;
+pub use params::{BackpressureParams, Params};
 pub use results::RunResult;
 pub use workload::WorkloadSpec;

@@ -54,6 +54,18 @@ pub fn check(m: &Machine) -> LivenessReport {
         // still avail, in the device, or went through used and back. An
         // injected fault may delay a buffer but can never mint or leak one.
         for (name, q) in [("tx", &vm.tx), ("rx", &vm.rx)] {
+            // A queue that is (or ever was) quarantined surrenders its
+            // conservation ledger by design: quarantine discards exposed
+            // buffers, the guest reset zeroes the counters, and a
+            // completion in flight across the reset lands unmatched. What
+            // must still hold: broken implies the reset request is
+            // surfaced to the guest (the DEVICE_NEEDS_RESET analog).
+            if q.is_broken() && !q.needs_reset() {
+                rep.fail(format!("vm{vmi} {name}: broken without needs_reset"));
+            }
+            if q.quarantine_count() > 0 {
+                continue;
+            }
             let added = q.added_total();
             let popped = q.popped_total();
             let completed = q.completed_total();
@@ -118,7 +130,8 @@ pub fn check(m: &Machine) -> LivenessReport {
         // Forward progress: if the driver ever added TX buffers, the device
         // must have completed at least one — a dropped kick with a working
         // watchdog stalls a queue temporarily, never terminally.
-        if vm.tx.added_total() > 0 && vm.tx.completed_total() == 0 {
+        if vm.tx.quarantine_count() == 0 && vm.tx.added_total() > 0 && vm.tx.completed_total() == 0
+        {
             rep.fail(format!(
                 "vm{vmi} tx: {} buffers added, none ever completed",
                 vm.tx.added_total()

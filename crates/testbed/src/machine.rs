@@ -25,7 +25,8 @@ use es2_metrics::ModeAccounting;
 use es2_net::{Link, NicQueue, Packet, PacketFactory};
 use es2_sched::{CfsScheduler, CoreId, Switch, ThreadId, ThreadState};
 use es2_sim::{
-    DeliveryFault, EventQueue, FaultInjector, FaultPlan, GenToken, SimDuration, SimRng, SimTime,
+    DeliveryFault, EventQueue, FaultInjector, FaultPlan, GenToken, RingCorruptionKind, SimDuration,
+    SimRng, SimTime,
 };
 use es2_virtio::{HandlerId, VhostWorker, Virtqueue, VirtqueueConfig};
 
@@ -144,6 +145,9 @@ pub(crate) enum AfterExit {
     Resume,
     /// EOI emulation, then re-entry.
     Eoi,
+    /// A spurious EOI write from an EOI storm (hostile guest): no
+    /// in-service interrupt to complete, possibly more writes to chain.
+    SpuriousEoi,
 }
 
 pub(crate) struct ThreadInfo {
@@ -167,6 +171,12 @@ pub(crate) struct VcpuCtx {
     /// The last VM exit left caches cold; the next application step pays
     /// the refill penalty.
     pub(crate) cache_cold: bool,
+    /// Spurious doorbell kicks (hostile kick storm) still to perform —
+    /// each drains as one more I/O-instruction exit charged to this vCPU.
+    pub(crate) pending_storm_kicks: u32,
+    /// Spurious EOI writes (hostile EOI storm) still to perform on the
+    /// emulated path — each is one more APIC-access exit.
+    pub(crate) pending_spurious_eois: u32,
 }
 
 pub(crate) struct VmState {
@@ -214,6 +224,18 @@ pub(crate) struct VmState {
     pub(crate) watchdog_reraises: u64,
     /// Guest-side TCP retransmission timeouts fired (packet-loss recovery).
     pub(crate) guest_rtos: u64,
+    /// Per-VM overload-control ledger (throttle/budget/quarantine events).
+    pub(crate) bp: es2_metrics::BackpressureStats,
+    /// Per-VM kick admission throttle (`Some` iff `Params::backpressure`).
+    pub(crate) kick_bucket: Option<crate::backpressure::KickBucket>,
+    /// Per-handler flag: a coalesced [`Ev::ThrottledKick`] wake is already
+    /// scheduled (indexed by `HandlerId::idx`).
+    pub(crate) throttle_armed: [bool; 2],
+    /// Last service-budget window the TX handler was replenished in.
+    pub(crate) budget_window_idx: u64,
+    /// Per-VM RX one-way latency histogram (the blast-radius p99 source;
+    /// `rx_latency` keeps the streaming mean for existing reports).
+    pub(crate) rx_hist: es2_metrics::Histogram,
 }
 
 /// Events of the discrete-event loop.
@@ -286,6 +308,18 @@ pub(crate) enum Ev {
     },
     /// Posted-interrupt hardware fails for the plan's masked VMs.
     PiFail,
+    /// A kick deferred by the per-VM token-bucket throttle reaches its
+    /// conforming instant (one coalesced wake per storm).
+    ThrottledKick {
+        vm: u32,
+        h: HandlerId,
+    },
+    /// The guest driver notices the `DEVICE_NEEDS_RESET` analog on a
+    /// quarantined queue and resets it.
+    GuestQueueReset {
+        vm: u32,
+        h: HandlerId,
+    },
     OpenWindow,
     CloseWindow,
 }
@@ -311,6 +345,8 @@ pub const EV_KIND_NAMES: &[&str] = &[
     "PreemptStorm",
     "GuestTcpTimeout",
     "PiFail",
+    "ThrottledKick",
+    "GuestQueueReset",
     "OpenWindow",
     "CloseWindow",
 ];
@@ -338,8 +374,10 @@ impl Ev {
             Ev::PreemptStorm => 15,
             Ev::GuestTcpTimeout { .. } => 16,
             Ev::PiFail => 17,
-            Ev::OpenWindow => 18,
-            Ev::CloseWindow => 19,
+            Ev::ThrottledKick { .. } => 18,
+            Ev::GuestQueueReset { .. } => 19,
+            Ev::OpenWindow => 20,
+            Ev::CloseWindow => 21,
         }
     }
 }
@@ -519,10 +557,13 @@ impl Machine {
             }
             rx.device_disable_notify();
 
-            let tx_handler = match cfg.hybrid {
+            let mut tx_handler = match cfg.hybrid {
                 Some(h) => HybridHandler::new(h),
                 None => HybridHandler::stock(),
             };
+            if let Some(bp) = params.backpressure {
+                tx_handler.set_service_budget(bp.service_budget);
+            }
 
             vms.push(VmState {
                 vcpus,
@@ -554,6 +595,14 @@ impl Machine {
                 watchdog_rekicks: 0,
                 watchdog_reraises: 0,
                 guest_rtos: 0,
+                bp: es2_metrics::BackpressureStats::default(),
+                kick_bucket: params
+                    .backpressure
+                    .as_ref()
+                    .map(crate::backpressure::KickBucket::new),
+                throttle_armed: [false; 2],
+                budget_window_idx: 0,
+                rx_hist: es2_metrics::Histogram::new(),
             });
         }
 
@@ -911,6 +960,16 @@ impl Machine {
                 self.wake_thread(tid);
             }
             Ev::DelayedMsi { vm, vector } => self.route_and_deliver_msi(vm, vector),
+            Ev::ThrottledKick { vm, h } => {
+                // The coalesced wake for every kick deferred since it was
+                // scheduled. Re-enters admission: the bucket charges the
+                // kick at this (conforming) instant.
+                self.vms[vm as usize].throttle_armed[h.idx()] = false;
+                self.tracer
+                    .record(self.now, "throttled-kick", vm as u64, h.0 as u64);
+                self.kick_vhost(vm, h);
+            }
+            Ev::GuestQueueReset { vm, h } => self.on_guest_queue_reset(vm, h),
             Ev::Watchdog => self.on_watchdog(),
             Ev::PreemptStorm => self.on_preempt_storm(),
             Ev::GuestTcpTimeout { vm } => self.on_guest_tcp_timeout(vm),
@@ -1174,6 +1233,18 @@ impl Machine {
     /// so the vhost worker wakes (on its own core) concurrently with the
     /// rest of the exit processing.
     pub(crate) fn begin_kick_exit(&mut self, vm: u32, idx: u32, h: HandlerId) {
+        // Hostile-guest hook: the plan's target VM may corrupt its ring
+        // just before ringing the doorbell, and may follow the real kick
+        // with a spurious doorbell storm (drained as extra I/O exits the
+        // hostile guest itself pays for). Well-behaved VMs take the NONE
+        // fast path with zero RNG draws.
+        let hostile = self.faults.on_hostile_kick(vm);
+        if let Some(kind) = hostile.corruption {
+            self.publish_ring_corruption(vm, h, kind);
+        }
+        if hostile.extra_kicks > 0 {
+            self.vms[vm as usize].vctx[idx as usize].pending_storm_kicks += hostile.extra_kicks;
+        }
         self.kick_vhost(vm, h);
         if self.spans.is_some() {
             let cost = self.p.costs.exit_cost(ExitReason::IoInstruction).as_nanos();
@@ -1192,6 +1263,26 @@ impl Machine {
     pub(crate) fn kick_vhost(&mut self, vm: u32, h: HandlerId) {
         self.tracer
             .record(self.now, "kick", vm as u64, h.0 as u64);
+        // Per-VM kick throttle (off by default): an over-rate kick is not
+        // lost — one coalesced wake is scheduled for the first conforming
+        // instant, and only this VM's queue waits for it.
+        if let Some(bucket) = self.vms[vm as usize].kick_bucket.as_mut() {
+            match bucket.admit(self.now.as_nanos()) {
+                crate::backpressure::Admission::Pass => {}
+                crate::backpressure::Admission::DeferUntil(at_ns) => {
+                    let vmi = vm as usize;
+                    self.vms[vmi].bp.throttled_kicks += 1;
+                    if !self.vms[vmi].throttle_armed[h.idx()] {
+                        self.vms[vmi].throttle_armed[h.idx()] = true;
+                        self.q.push(
+                            SimTime::ZERO + SimDuration::from_nanos(at_ns),
+                            Ev::ThrottledKick { vm, h },
+                        );
+                    }
+                    return;
+                }
+            }
+        }
         match self.faults.on_guest_kick() {
             DeliveryFault::Deliver => {
                 let vmi = vm as usize;
@@ -1205,6 +1296,41 @@ impl Machine {
                 self.q.push(self.now + extra, Ev::DelayedKick { vm, h });
             }
         }
+    }
+
+    /// Hostile guest publishes corrupted ring state on the queue it is
+    /// about to kick. Only the *claim* is recorded here; the vhost
+    /// backend's `device_validate` is what must catch it.
+    fn publish_ring_corruption(&mut self, vm: u32, h: HandlerId, kind: RingCorruptionKind) {
+        let vmi = vm as usize;
+        let is_tx = h == self.vms[vmi].tx_h;
+        let q = if is_tx {
+            &mut self.vms[vmi].tx
+        } else {
+            &mut self.vms[vmi].rx
+        };
+        let size = q.config().size;
+        match kind {
+            RingCorruptionKind::DescOutOfRange => q.guest_publish_desc_index(size),
+            RingCorruptionKind::AvailIdxJump => {
+                // Just past the legitimate window, well short of the
+                // wrap-around regression zone.
+                let claimed = q
+                    .device_avail_cursor()
+                    .wrapping_add(q.avail_pending() as u16)
+                    .wrapping_add(0x100);
+                q.guest_publish_avail_idx(claimed);
+            }
+            RingCorruptionKind::AvailIdxRegress => {
+                let claimed = q.device_avail_cursor().wrapping_sub(1);
+                q.guest_publish_avail_idx(claimed);
+            }
+            RingCorruptionKind::DescLoop => q.guest_publish_chain(0, 1, true),
+            RingCorruptionKind::ChainOverLength => q.guest_publish_chain(0, size + 1, false),
+            RingCorruptionKind::UsedOverflow => q.guest_claim_used_outstanding(size + 1),
+        }
+        self.tracer
+            .record(self.now, "ring-corrupt", vm as u64, h.0 as u64);
     }
 
     /// Flight-recorder hook: a kick signal for `(vm, h)` is being queued.
@@ -1478,6 +1604,17 @@ impl Machine {
                     if let Some(tr) = self.spans.as_deref_mut() {
                         tr.on_eoi_done(vm, idx, self.now.as_nanos(), self.window_open);
                     }
+                    if self.begin_spurious_eoi(vm, idx) {
+                        return;
+                    }
+                    self.vm_entry_and_dispatch(vm, idx);
+                }
+                AfterExit::SpuriousEoi => {
+                    // No in-service interrupt to complete; chain the next
+                    // storm write or finally re-enter.
+                    if self.begin_spurious_eoi(vm, idx) {
+                        return;
+                    }
                     self.vm_entry_and_dispatch(vm, idx);
                 }
             },
@@ -1494,11 +1631,57 @@ impl Machine {
         }
     }
 
+    /// Begin one spurious EOI write of a hostile EOI storm, if any are
+    /// pending on this vCPU. The write re-enters the guest and traps
+    /// straight back out; the entry+trap pair is modeled as one more
+    /// APIC-access exit segment with no injection window, so every cycle
+    /// of the storm is paid for by the hostile vCPU alone. Returns whether
+    /// a storm segment was started.
+    fn begin_spurious_eoi(&mut self, vm: u32, idx: u32) -> bool {
+        let vmi = vm as usize;
+        if self.vms[vmi].vctx[idx as usize].pending_spurious_eois == 0 {
+            return false;
+        }
+        self.vms[vmi].vctx[idx as usize].pending_spurious_eois -= 1;
+        self.vms[vmi].vcpus[idx as usize]
+            .exits
+            .record(ExitReason::ApicAccess);
+        self.vms[vmi].vctx[idx as usize].cache_cold = true;
+        self.tracer
+            .record(self.now, "eoi-storm", vm as u64, idx as u64);
+        let tid = self.vms[vmi].vcpu_tids[idx as usize];
+        let dur = self.p.costs.exit_cost(ExitReason::ApicAccess);
+        self.start_segment(
+            tid,
+            SegKind::Exit {
+                reason: ExitReason::ApicAccess,
+                then: AfterExit::SpuriousEoi,
+            },
+            dur,
+        );
+        true
+    }
+
     /// Resume the vCPU's interrupted work (in guest mode): first honour a
     /// TX kick that became due in IRQ context, then the thread's saved
     /// segment, then the IRQ resume stack, then fresh application work.
     pub(crate) fn resume_or_fresh(&mut self, vm: u32, idx: u32) {
         let tid = self.vms[vm as usize].vcpu_tids[idx as usize];
+        if self.vms[vm as usize].vctx[idx as usize].pending_storm_kicks > 0 {
+            // Drain one spurious doorbell write of a hostile kick storm:
+            // a full I/O-instruction exit charged to this (hostile) vCPU.
+            // The kick signal itself is what the admission throttle and
+            // the worker's already-queued dedup absorb.
+            self.vms[vm as usize].vctx[idx as usize].pending_storm_kicks -= 1;
+            self.vms[vm as usize].bp.spurious_kicks += 1;
+            if let Some(seg) = self.clear_seg(tid) {
+                self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
+            }
+            let h = self.vms[vm as usize].tx_h;
+            self.kick_vhost(vm, h);
+            self.begin_exit(vm, idx, ExitReason::IoInstruction, AfterExit::Resume);
+            return;
+        }
         if !self.vms[vm as usize].vctx[idx as usize]
             .pending_kicks
             .is_empty()
@@ -1545,7 +1728,8 @@ impl Machine {
             // notification mode, yet nobody queued it and it is not
             // mid-turn. (Polling mode recovers by itself via requeues.)
             let tx_h = self.vms[vmi].tx_h;
-            let tx_stuck = self.vms[vmi].tx_handler.needs_rekick(&self.vms[vmi].tx)
+            let tx_stuck = !self.vms[vmi].tx.is_broken()
+                && self.vms[vmi].tx_handler.needs_rekick(&self.vms[vmi].tx)
                 && !self.vms[vmi].worker.is_queued(tx_h)
                 && self.vms[vmi].cur_handler != Some(tx_h);
             if tx_stuck {
@@ -1560,7 +1744,8 @@ impl Machine {
             // Lost RX refill kick: ingress backlog waiting, guest buffers
             // available, but the RX handler was never requeued.
             let rx_h = self.vms[vmi].rx_h;
-            let rx_stuck = !self.vms[vmi].backlog.is_empty()
+            let rx_stuck = !self.vms[vmi].rx.is_broken()
+                && !self.vms[vmi].backlog.is_empty()
                 && self.vms[vmi].rx.avail_pending() > 0
                 && !self.vms[vmi].worker.is_queued(rx_h)
                 && self.vms[vmi].cur_handler != Some(rx_h);
@@ -1577,7 +1762,10 @@ impl Machine {
             // and no handler running. Re-raising merely sets an IRR bit
             // that is already pending in the benign race, so a spurious
             // re-raise coalesces instead of double-delivering.
-            if self.vms[vmi].rx.used_pending() > 0 && !self.vms[vmi].rx.interrupts_disabled() {
+            if !self.vms[vmi].rx.is_broken()
+                && self.vms[vmi].rx.used_pending() > 0
+                && !self.vms[vmi].rx.interrupts_disabled()
+            {
                 self.vms[vmi].watchdog_reraises += 1;
                 let vector = self.vms[vmi].rx_vector;
                 self.tracer
@@ -1587,7 +1775,8 @@ impl Machine {
             // Lost TX-completion interrupt: the guest blocked on a full
             // ring, completions are back, interrupts are armed — but the
             // MSI vanished.
-            if self.vms[vmi].blocked_tx_full
+            if !self.vms[vmi].tx.is_broken()
+                && self.vms[vmi].blocked_tx_full
                 && self.vms[vmi].tx.used_pending() > 0
                 && !self.vms[vmi].tx.interrupts_disabled()
             {
@@ -1613,6 +1802,53 @@ impl Machine {
             }
         }
         self.q.push(self.now + period, Ev::PreemptStorm);
+    }
+
+    /// The guest driver resets a quarantined queue — the
+    /// `DEVICE_NEEDS_RESET` handshake completing after
+    /// `Params::quarantine_reset_delay`. Rings return to their
+    /// post-construction state, the worker re-admits the handler's kicks,
+    /// and any guest work blocked on the broken queue resumes.
+    fn on_guest_queue_reset(&mut self, vm: u32, h: HandlerId) {
+        let vmi = vm as usize;
+        let is_tx = h == self.vms[vmi].tx_h;
+        let reset = if is_tx {
+            self.vms[vmi].tx.guest_reset()
+        } else {
+            self.vms[vmi].rx.guest_reset()
+        };
+        if !reset {
+            return; // stale event: no reset outstanding
+        }
+        self.vms[vmi].bp.resets += 1;
+        self.tracer
+            .record(self.now, "queue-reset", vm as u64, h.0 as u64);
+        if is_tx {
+            // Re-initialization mirrors construction: TX completions are
+            // reclaimed in the xmit path, interrupts armed only when the
+            // ring fills.
+            self.vms[vmi].tx.driver_disable_interrupts();
+            self.vms[vmi].blocked_tx_full = false;
+        } else {
+            // The driver pre-fills the fresh RX ring with buffers and
+            // leaves refill notifications unarmed.
+            for _ in 0..self.p.ring_size {
+                let placeholder =
+                    self.pf
+                        .make(es2_net::FlowId(vm), es2_net::PacketKind::Data, 0, self.now);
+                let _ = self.vms[vmi].rx.driver_add(placeholder);
+            }
+            self.vms[vmi].rx.device_disable_notify();
+        }
+        self.vms[vmi].worker.release(h);
+        // Ingress may have piled up behind a quarantined RX queue: put the
+        // handler straight back to work on the fresh ring.
+        if !is_tx && !self.vms[vmi].backlog.is_empty() {
+            self.vms[vmi].worker.queue_work(h);
+            let tid = self.vms[vmi].vhost_tid;
+            self.wake_thread(tid);
+        }
+        self.guest_app_wakeup(vm);
     }
 
     /// Posted-interrupt hardware fails for the plan's masked VMs: every

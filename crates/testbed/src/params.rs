@@ -42,6 +42,36 @@ pub enum DeviceKind {
     AssignedVf,
 }
 
+/// Per-VM vhost backpressure / overload control. All mechanisms charge
+/// the misbehaving VM itself: throttled kicks are delivered late to *its*
+/// queue, an exhausted service budget defers *its* poll work.
+#[derive(Clone, Copy, Debug)]
+pub struct BackpressureParams {
+    /// Sustained guest-kick admission rate (kicks/sec) of the per-VM
+    /// token bucket. Legitimate workloads kick at the worker's sleep/wake
+    /// frequency (≈ thousands/sec), far below this; only a storm hits it.
+    pub kick_rate: f64,
+    /// Burst tolerance: kicks admitted back-to-back before the bucket
+    /// starts deferring.
+    pub kick_burst: u32,
+    /// Requests the vhost worker will serve for one VM per service
+    /// window before deferring the rest of its work.
+    pub service_budget: u32,
+    /// Length of one service-budget window.
+    pub budget_window: SimDuration,
+}
+
+impl Default for BackpressureParams {
+    fn default() -> Self {
+        BackpressureParams {
+            kick_rate: 50_000.0,
+            kick_burst: 32,
+            service_budget: 4096,
+            budget_window: SimDuration::from_millis(1),
+        }
+    }
+}
+
 /// Full parameter set for a testbed run.
 #[derive(Clone, Copy, Debug)]
 pub struct Params {
@@ -162,6 +192,15 @@ pub struct Params {
     /// least-loaded-sticky / offline-head). Used by the ablation benches.
     pub redirect_policies: Option<(es2_core::TargetPolicy, es2_core::OfflinePolicy)>,
 
+    // ---- overload control (hostile-guest hardening) ----
+    /// Per-VM kick throttle and vhost service budget (`None` = off, the
+    /// default — existing runs stay byte-identical).
+    pub backpressure: Option<BackpressureParams>,
+    /// Delay between a queue quarantine (ring-validation violation) and
+    /// the guest driver noticing the `DEVICE_NEEDS_RESET` analog and
+    /// resetting the queue.
+    pub quarantine_reset_delay: SimDuration,
+
     // ---- fault recovery (used only under an active fault plan) ----
     /// Liveness-watchdog scan period: how often stuck rings are re-kicked
     /// and lost device interrupts re-raised.
@@ -240,6 +279,9 @@ impl Default for Params {
             sriov_dma: SimDuration::from_nanos(900),
 
             redirect_policies: None,
+
+            backpressure: None,
+            quarantine_reset_delay: SimDuration::from_micros(100),
 
             watchdog_period: SimDuration::from_micros(500),
             guest_rto: SimDuration::from_millis(8),

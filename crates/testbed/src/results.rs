@@ -71,6 +71,19 @@ pub struct RunResult {
     /// per-VM per-stage latency histograms, lifecycle notes, and the
     /// bounded Chrome-trace event log.
     pub spans: Option<es2_metrics::SpanReport>,
+    /// Backpressure/containment ledger summed across every VM: throttled
+    /// kicks, budget deferrals, storm absorption, quarantines and resets.
+    pub backpressure: es2_metrics::BackpressureStats,
+    /// The same ledger broken out per VM (index = VM id) — the
+    /// blast-radius evidence that only the hostile VM paid.
+    pub backpressure_per_vm: Vec<es2_metrics::BackpressureStats>,
+    /// Per-VM p99 one-way receive latency in microseconds (0 for VMs
+    /// that received nothing).
+    pub rx_p99_us_per_vm: Vec<u64>,
+    /// Queue quarantine episodes across all VMs (tx + rx, lifetime).
+    pub quarantines_total: u64,
+    /// Guest-initiated queue resets across all VMs (tx + rx, lifetime).
+    pub queue_resets_total: u64,
 }
 
 impl RunResult {
@@ -174,6 +187,19 @@ impl RunResult {
             .map(|c| m.sched.switch_count(es2_sched::CoreId(c as u32)))
             .sum();
 
+        let mut backpressure = es2_metrics::BackpressureStats::default();
+        let mut backpressure_per_vm = Vec::with_capacity(m.vms.len());
+        let mut rx_p99_us_per_vm = Vec::with_capacity(m.vms.len());
+        let mut quarantines_total = 0;
+        let mut queue_resets_total = 0;
+        for vm in &m.vms {
+            backpressure.merge(&vm.bp);
+            backpressure_per_vm.push(vm.bp);
+            rx_p99_us_per_vm.push(vm.rx_hist.p99());
+            quarantines_total += vm.tx.quarantine_count() + vm.rx.quarantine_count();
+            queue_resets_total += vm.tx.reset_count() + vm.rx.reset_count();
+        }
+
         let (redirections, offline_predictions) = match &m.router {
             Some(r) => (
                 r.engine().redirection_count(),
@@ -210,6 +236,11 @@ impl RunResult {
             watchdog_reraises: vm0.watchdog_reraises,
             guest_rtos: vm0.guest_rtos,
             spans,
+            backpressure,
+            backpressure_per_vm,
+            rx_p99_us_per_vm,
+            quarantines_total,
+            queue_resets_total,
         }
     }
 }

@@ -34,6 +34,74 @@ impl Default for VirtqueueConfig {
     }
 }
 
+/// A guest-trust-boundary violation caught by device-side ring
+/// validation — the typed replacement for what would be a panic (or
+/// silent memory corruption) in a backend that trusted guest indices.
+///
+/// Every variant carries the offending values so quarantine events can be
+/// attributed in traces and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// The guest published a descriptor index `>=` the ring size.
+    DescOutOfRange { index: u16, size: u16 },
+    /// The guest's published avail idx ran ahead of the entries it
+    /// actually added (`claimed` vs the device cursor, with at most
+    /// `window` legitimately outstanding).
+    AvailIdxJump { claimed: u16, cursor: u16, window: u16 },
+    /// The guest's published avail idx moved backwards past entries the
+    /// device already consumed.
+    AvailIdxRegress { claimed: u16, cursor: u16 },
+    /// A descriptor chain links back to its own head.
+    DescChainLoop { head: u16 },
+    /// A descriptor chain longer than the ring itself.
+    ChainTooLong { len: u16, max: u16 },
+    /// The guest claims more unreclaimed used entries than the ring holds.
+    UsedOverflow { claimed: u16, size: u16 },
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RingError::DescOutOfRange { index, size } => {
+                write!(f, "descriptor index {index} out of range (ring size {size})")
+            }
+            RingError::AvailIdxJump {
+                claimed,
+                cursor,
+                window,
+            } => write!(
+                f,
+                "avail idx jumped to {claimed} (device cursor {cursor}, {window} outstanding)"
+            ),
+            RingError::AvailIdxRegress { claimed, cursor } => {
+                write!(f, "avail idx regressed to {claimed} (device cursor {cursor})")
+            }
+            RingError::DescChainLoop { head } => {
+                write!(f, "descriptor chain loops back to head {head}")
+            }
+            RingError::ChainTooLong { len, max } => {
+                write!(f, "descriptor chain of length {len} exceeds ring size {max}")
+            }
+            RingError::UsedOverflow { claimed, size } => {
+                write!(f, "guest claims {claimed} outstanding used entries (ring size {size})")
+            }
+        }
+    }
+}
+
+/// Ring state the guest *claims* to have published, recorded by the
+/// `guest_publish_*` entry points and checked against the device's
+/// trusted view by [`Virtqueue::device_validate`]. A claim that turns out
+/// geometrically valid simply clears; an invalid one is the trust-boundary
+/// violation the backend must quarantine on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GuestClaim {
+    DescIndex(u16),
+    AvailIdx(u16),
+    Chain { head: u16, len: u16, next_is_head: bool },
+    UsedOutstanding(u16),
+}
+
 /// Whether the driver must notify (kick) the device after exposing a buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KickDecision {
@@ -90,6 +158,21 @@ pub struct Virtqueue<T> {
     popped: u64,
     completed: u64,
     reclaimed: u64,
+
+    // --- guest trust boundary ---
+    /// Pending guest-published ring state awaiting device validation.
+    claim: Option<GuestClaim>,
+    /// Queue is quarantined: the backend refuses service until the guest
+    /// resets it (virtio's `DEVICE_NEEDS_RESET` analog).
+    broken: bool,
+    /// Surfaced to the guest: the device requires a reset.
+    needs_reset: bool,
+    /// Avail entries discarded when the queue was quarantined.
+    quarantine_dropped: u64,
+    /// Lifetime quarantine count (survives resets).
+    quarantines: u64,
+    /// Lifetime reset count.
+    resets: u64,
 }
 
 impl<T> Virtqueue<T> {
@@ -117,6 +200,12 @@ impl<T> Virtqueue<T> {
             popped: 0,
             completed: 0,
             reclaimed: 0,
+            claim: None,
+            broken: false,
+            needs_reset: false,
+            quarantine_dropped: 0,
+            quarantines: 0,
+            resets: 0,
         }
     }
 
@@ -145,7 +234,10 @@ impl<T> Virtqueue<T> {
     ///
     /// Returns `Err(payload)` if the ring is full.
     pub fn driver_add(&mut self, payload: T) -> Result<KickDecision, T> {
-        if self.num_free == 0 {
+        // A quarantined queue accepts nothing: the guest sees a stopped
+        // queue (as if full) until it performs the reset the device
+        // requested.
+        if self.broken || self.num_free == 0 {
             return Err(payload);
         }
         self.num_free -= 1;
@@ -239,6 +331,9 @@ impl<T> Virtqueue<T> {
 
     /// Consume one exposed buffer.
     pub fn device_pop(&mut self) -> Option<T> {
+        if self.broken {
+            return None;
+        }
         let p = self.avail.pop_front()?;
         self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
         self.popped += 1;
@@ -247,7 +342,13 @@ impl<T> Virtqueue<T> {
 
     /// Return one completed buffer to the driver. Returns `true` if the
     /// device must raise a virtual interrupt, per the suppression state.
+    /// A quarantined queue silently swallows the completion (no interrupt,
+    /// no used entry) — the backend stopped serving this queue.
     pub fn device_push_used(&mut self, payload: T) -> bool {
+        if self.broken {
+            drop(payload);
+            return false;
+        }
         let old = self.used_idx;
         self.used_idx = self.used_idx.wrapping_add(1);
         self.completed += 1;
@@ -297,6 +398,188 @@ impl<T> Virtqueue<T> {
     /// Whether driver kicks are currently suppressed.
     pub fn notify_disabled(&self) -> bool {
         self.used_flags_no_notify
+    }
+
+    // ------------------------------------------------------------------
+    // Guest trust boundary: publish / validate / quarantine / reset
+    //
+    // The guest_publish_* entry points record ring state the guest
+    // *claims*; `device_validate` checks the claim against the device's
+    // trusted view using the same wrapping-u16 geometry as the real ring.
+    // The backend calls it before touching the avail ring, and on error
+    // quarantines the queue instead of panicking.
+    // ------------------------------------------------------------------
+
+    /// Guest publishes a descriptor index (head of the next chain).
+    /// Recorded, not trusted: `device_validate` checks it is in range.
+    pub fn guest_publish_desc_index(&mut self, index: u16) {
+        self.claim = Some(GuestClaim::DescIndex(index));
+    }
+
+    /// Guest publishes a (possibly bogus) avail idx. A claim equal to the
+    /// device's view of the free-running publish cursor is valid — even
+    /// across the `u16` wrap — anything outside the outstanding window is
+    /// a jump or regression.
+    pub fn guest_publish_avail_idx(&mut self, claimed: u16) {
+        self.claim = Some(GuestClaim::AvailIdx(claimed));
+    }
+
+    /// Guest publishes a descriptor chain of `len` descriptors starting at
+    /// `head`; `next_is_head` marks a chain whose next pointer links back
+    /// to its own head (the classic loop attack).
+    pub fn guest_publish_chain(&mut self, head: u16, len: u16, next_is_head: bool) {
+        self.claim = Some(GuestClaim::Chain {
+            head,
+            len,
+            next_is_head,
+        });
+    }
+
+    /// Guest claims `claimed` used entries are outstanding (unreclaimed).
+    pub fn guest_claim_used_outstanding(&mut self, claimed: u16) {
+        self.claim = Some(GuestClaim::UsedOutstanding(claimed));
+    }
+
+    /// True while a guest claim awaits device validation.
+    pub fn has_pending_claim(&self) -> bool {
+        self.claim.is_some()
+    }
+
+    /// Device-side validation of any pending guest claim, called by the
+    /// backend before it processes the avail ring. Geometrically valid
+    /// claims clear silently; invalid ones return the typed violation
+    /// (and clear — the caller decides to quarantine).
+    pub fn device_validate(&mut self) -> Result<(), RingError> {
+        let Some(claim) = self.claim.take() else {
+            return Ok(());
+        };
+        let size = self.cfg.size;
+        match claim {
+            GuestClaim::DescIndex(index) => {
+                if index < size {
+                    Ok(())
+                } else {
+                    Err(RingError::DescOutOfRange { index, size })
+                }
+            }
+            GuestClaim::AvailIdx(claimed) => {
+                // The device's cursor and the true publish index are both
+                // free-running u16s; the legitimate window for a published
+                // idx is [cursor, cursor + outstanding] (wrapping).
+                let cursor = self.last_avail_idx;
+                let window = self.avail.len() as u16;
+                let advanced = claimed.wrapping_sub(cursor);
+                if advanced <= window {
+                    Ok(())
+                } else if advanced >= 0x8000 {
+                    Err(RingError::AvailIdxRegress { claimed, cursor })
+                } else {
+                    Err(RingError::AvailIdxJump {
+                        claimed,
+                        cursor,
+                        window,
+                    })
+                }
+            }
+            GuestClaim::Chain {
+                head,
+                len,
+                next_is_head,
+            } => {
+                if next_is_head {
+                    Err(RingError::DescChainLoop { head })
+                } else if len > size {
+                    Err(RingError::ChainTooLong { len, max: size })
+                } else {
+                    Ok(())
+                }
+            }
+            GuestClaim::UsedOutstanding(claimed) => {
+                if claimed <= size {
+                    Ok(())
+                } else {
+                    Err(RingError::UsedOverflow { claimed, size })
+                }
+            }
+        }
+    }
+
+    /// Quarantine the queue: drain the avail ring, mark it broken, and
+    /// surface the `DEVICE_NEEDS_RESET` analog to the guest. Returns how
+    /// many exposed-but-unprocessed buffers were discarded.
+    pub fn quarantine(&mut self) -> usize {
+        let drained = self.avail.len();
+        self.avail.clear();
+        self.quarantine_dropped += drained as u64;
+        self.claim = None;
+        self.broken = true;
+        self.needs_reset = true;
+        self.quarantines += 1;
+        drained
+    }
+
+    /// Whether the queue is quarantined (backend refuses service).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Whether the device has requested a reset from the guest.
+    pub fn needs_reset(&self) -> bool {
+        self.needs_reset
+    }
+
+    /// Guest performs the requested reset: rings are emptied, indices,
+    /// suppression state and conservation counters return to their
+    /// post-construction values, and service resumes. Lifetime
+    /// kick/interrupt statistics and quarantine counters survive. Returns
+    /// `false` (and does nothing) if no reset was requested.
+    pub fn guest_reset(&mut self) -> bool {
+        if !self.needs_reset {
+            return false;
+        }
+        self.avail.clear();
+        self.used.clear();
+        self.num_free = self.cfg.size;
+        self.avail_idx = 0;
+        self.used_idx = 0;
+        self.last_avail_idx = 0;
+        self.last_used_idx = 0;
+        self.used_flags_no_notify = false;
+        self.avail_flags_no_interrupt = false;
+        self.avail_event = 0;
+        self.used_event = 0;
+        self.added = 0;
+        self.popped = 0;
+        self.completed = 0;
+        self.reclaimed = 0;
+        self.claim = None;
+        self.broken = false;
+        self.needs_reset = false;
+        self.resets += 1;
+        true
+    }
+
+    /// The device's trusted view of the free-running avail publish cursor.
+    /// Exposed so a simulated hostile guest can craft claims relative to
+    /// it (a jump past the window, a regression behind it); the device
+    /// never trusts anything derived from this value coming back.
+    pub fn device_avail_cursor(&self) -> u16 {
+        self.last_avail_idx
+    }
+
+    /// Lifetime quarantine count.
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Lifetime guest-reset count.
+    pub fn reset_count(&self) -> u64 {
+        self.resets
+    }
+
+    /// Avail entries discarded across all quarantines.
+    pub fn quarantine_dropped_total(&self) -> u64 {
+        self.quarantine_dropped
     }
 
     // ------------------------------------------------------------------
@@ -580,6 +863,183 @@ mod tests {
         for want in 0..5 {
             assert_eq!(q.driver_take_used(), Some(want));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest trust boundary
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn valid_claims_clear_silently() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        q.driver_add(2).unwrap();
+        q.guest_publish_desc_index(7);
+        assert_eq!(q.device_validate(), Ok(()));
+        // Claimed idx anywhere in [cursor, cursor + outstanding] is fine.
+        for claimed in 0..=2u16 {
+            q.guest_publish_avail_idx(claimed);
+            assert_eq!(q.device_validate(), Ok(()), "claimed={claimed}");
+        }
+        assert!(!q.has_pending_claim());
+        assert!(!q.is_broken());
+    }
+
+    #[test]
+    fn validate_without_claim_is_ok() {
+        let mut q = vq(true);
+        assert_eq!(q.device_validate(), Ok(()));
+    }
+
+    #[test]
+    fn desc_index_out_of_range_is_caught() {
+        let mut q = vq(true);
+        q.guest_publish_desc_index(8); // size is 8, valid range 0..=7
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::DescOutOfRange { index: 8, size: 8 })
+        );
+        // The claim is consumed either way.
+        assert_eq!(q.device_validate(), Ok(()));
+    }
+
+    #[test]
+    fn avail_idx_jump_and_regress_are_caught() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        q.device_pop().unwrap(); // cursor = 1, nothing outstanding
+        q.guest_publish_avail_idx(5);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::AvailIdxJump {
+                claimed: 5,
+                cursor: 1,
+                window: 0
+            })
+        );
+        q.guest_publish_avail_idx(0);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::AvailIdxRegress {
+                claimed: 0,
+                cursor: 1
+            })
+        );
+    }
+
+    #[test]
+    fn avail_idx_wrap_at_u16_max_is_valid() {
+        // Drive the free-running cursor to u16::MAX, then publish across
+        // the wrap: the legitimate claim is 0 (= MAX + 1), and validation
+        // must accept it while still rejecting a real jump.
+        let mut q = vq(true);
+        for i in 0..u16::MAX as u32 {
+            q.driver_add(i).unwrap();
+            let p = q.device_pop().unwrap();
+            q.device_push_used(p);
+            q.driver_take_used();
+        }
+        q.driver_add(0xFFFF).unwrap(); // avail_idx wraps MAX -> 0
+        q.guest_publish_avail_idx(0);
+        assert_eq!(q.device_validate(), Ok(()), "wrapped idx is legitimate");
+        q.guest_publish_avail_idx(1);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::AvailIdxJump {
+                claimed: 1,
+                cursor: u16::MAX,
+                window: 1
+            }),
+            "one past the wrapped window is a jump"
+        );
+    }
+
+    #[test]
+    fn chain_length_at_limit_passes_one_past_fails() {
+        let mut q = vq(true); // size 8
+        q.guest_publish_chain(0, 8, false);
+        assert_eq!(q.device_validate(), Ok(()), "chain exactly at ring size");
+        q.guest_publish_chain(0, 9, false);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::ChainTooLong { len: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn self_referencing_descriptor_is_caught() {
+        let mut q = vq(true);
+        q.guest_publish_chain(3, 1, true);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::DescChainLoop { head: 3 })
+        );
+    }
+
+    #[test]
+    fn used_overflow_is_caught() {
+        let mut q = vq(true);
+        q.guest_claim_used_outstanding(8);
+        assert_eq!(q.device_validate(), Ok(()), "at ring size is legal");
+        q.guest_claim_used_outstanding(9);
+        assert_eq!(
+            q.device_validate(),
+            Err(RingError::UsedOverflow { claimed: 9, size: 8 })
+        );
+    }
+
+    #[test]
+    fn quarantine_then_reset_lifecycle() {
+        let mut q = vq(true);
+        for i in 0..4 {
+            q.driver_add(i).unwrap();
+        }
+        let p = q.device_pop().unwrap();
+        q.device_push_used(p);
+
+        let dropped = q.quarantine();
+        assert_eq!(dropped, 3, "pending avail entries drained");
+        assert!(q.is_broken());
+        assert!(q.needs_reset());
+        assert_eq!(q.quarantine_count(), 1);
+        assert_eq!(q.quarantine_dropped_total(), 3);
+
+        // Broken queue refuses service on every path.
+        assert!(q.driver_add(99).is_err(), "quarantined queue accepts nothing");
+        assert_eq!(q.device_pop(), None);
+        assert!(!q.device_push_used(77), "completion swallowed, no interrupt");
+
+        // Guest performs the requested reset.
+        assert!(q.guest_reset());
+        assert!(!q.is_broken());
+        assert!(!q.needs_reset());
+        assert_eq!(q.reset_count(), 1);
+        assert_eq!(q.num_free(), 8);
+        assert_eq!(q.avail_pending(), 0);
+        assert_eq!(q.used_pending(), 0);
+        // Conservation counters restart so liveness equations hold.
+        assert_eq!(q.added_total(), 0);
+        assert_eq!(q.popped_total(), 0);
+        assert_eq!(q.completed_total(), 0);
+        assert_eq!(q.reclaimed_total(), 0);
+        // Lifetime quarantine ledger survives the reset.
+        assert_eq!(q.quarantine_count(), 1);
+        assert_eq!(q.quarantine_dropped_total(), 3);
+
+        // Full service resumes: first add kicks like a fresh queue.
+        assert_eq!(q.driver_add(1).unwrap(), KickDecision::Kick);
+        let p = q.device_pop().unwrap();
+        assert!(q.device_push_used(p));
+        assert_eq!(q.driver_take_used(), Some(1));
+    }
+
+    #[test]
+    fn reset_without_request_is_refused() {
+        let mut q = vq(true);
+        q.driver_add(1).unwrap();
+        assert!(!q.guest_reset(), "no reset requested");
+        assert_eq!(q.avail_pending(), 1, "state untouched");
+        assert_eq!(q.reset_count(), 0);
     }
 
     proptest! {

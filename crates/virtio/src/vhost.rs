@@ -29,8 +29,17 @@ impl HandlerId {
 pub struct VhostWorker {
     work: VecDeque<HandlerId>,
     queued: Vec<bool>,
+    /// Per-handler quarantine bits: a quarantined handler's kicks are
+    /// refused (counted, not panicked on) until `release` — the worker-side
+    /// half of queue quarantine.
+    quarantined: Vec<bool>,
     wakeups: u64,
     dispatches: u64,
+    /// Kicks naming a handler id that was never registered — a
+    /// guest-controlled value the worker must survive, not index with.
+    rejected_kicks: u64,
+    /// Kicks refused because the target handler was quarantined.
+    quarantined_kicks: u64,
     /// Flight-recorder correlation ID riding with each handler's pending
     /// kick (0 = none). Observational only: the work-list logic never
     /// reads it, and it stays zero unless span tracing is on.
@@ -47,6 +56,7 @@ impl VhostWorker {
     pub fn register_handler(&mut self) -> HandlerId {
         let id = HandlerId(self.queued.len() as u32);
         self.queued.push(false);
+        self.quarantined.push(false);
         self.kick_corr.push(0);
         id
     }
@@ -65,12 +75,25 @@ impl VhostWorker {
     /// set the bit first already arranged for the worker to run, so a
     /// second queue of the same handler must never report a wake-up,
     /// whatever the list looked like at the time.
+    ///
+    /// The handler id is guest-influenced (it arrives with a kick), so an
+    /// unregistered id is refused and counted — never indexed with.
+    /// A quarantined handler's kicks are likewise refused: its queue is
+    /// broken and the worker stopped serving it.
     pub fn queue_work(&mut self, h: HandlerId) -> bool {
-        if self.queued[h.idx()] {
+        let Some(queued) = self.queued.get_mut(h.idx()) else {
+            self.rejected_kicks += 1;
+            return false;
+        };
+        if self.quarantined[h.idx()] {
+            self.quarantined_kicks += 1;
+            return false;
+        }
+        if *queued {
             return false;
         }
         let was_idle = self.work.is_empty();
-        self.queued[h.idx()] = true;
+        *queued = true;
         self.work.push_back(h);
         if was_idle {
             self.wakeups += 1;
@@ -96,9 +119,54 @@ impl VhostWorker {
         self.work.len()
     }
 
-    /// True if `h` is currently queued.
+    /// True if `h` is currently queued (false for unregistered ids).
     pub fn is_queued(&self, h: HandlerId) -> bool {
-        self.queued[h.idx()]
+        self.queued.get(h.idx()).copied().unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Quarantine ledger
+    // ------------------------------------------------------------------
+
+    /// Quarantine `h`: drop any queued invocation, refuse further kicks
+    /// until [`release`](Self::release). Returns `true` if an invocation
+    /// was pending (and was discarded). Unregistered ids are a no-op.
+    pub fn quarantine(&mut self, h: HandlerId) -> bool {
+        let Some(q) = self.quarantined.get_mut(h.idx()) else {
+            return false;
+        };
+        *q = true;
+        self.kick_corr[h.idx()] = 0;
+        let was_pending = self.queued[h.idx()];
+        if was_pending {
+            self.queued[h.idx()] = false;
+            self.work.retain(|&w| w != h);
+        }
+        was_pending
+    }
+
+    /// Lift the quarantine on `h` (the guest performed its queue reset).
+    /// Kicks are accepted again; the handler is *not* requeued — the next
+    /// real kick does that.
+    pub fn release(&mut self, h: HandlerId) {
+        if let Some(q) = self.quarantined.get_mut(h.idx()) {
+            *q = false;
+        }
+    }
+
+    /// True if `h` is quarantined.
+    pub fn is_quarantined(&self, h: HandlerId) -> bool {
+        self.quarantined.get(h.idx()).copied().unwrap_or(false)
+    }
+
+    /// Kicks refused because they named an unregistered handler.
+    pub fn rejected_kick_count(&self) -> u64 {
+        self.rejected_kicks
+    }
+
+    /// Kicks refused because the target handler was quarantined.
+    pub fn quarantined_kick_count(&self) -> u64 {
+        self.quarantined_kicks
     }
 
     /// Times the worker transitioned idle→busy.
@@ -113,25 +181,31 @@ impl VhostWorker {
 
     /// Attach a flight-recorder correlation ID to `h`'s pending kick.
     /// Returns `true` if stored; `false` if a kick already owns the slot
-    /// (the signals coalesced — first kick keeps the span).
+    /// (the signals coalesced — first kick keeps the span) or the id is
+    /// unregistered.
     pub fn note_kick_corr(&mut self, h: HandlerId, corr: u64) -> bool {
-        if self.kick_corr[h.idx()] != 0 {
-            return false;
+        match self.kick_corr.get_mut(h.idx()) {
+            Some(slot) if *slot == 0 => {
+                *slot = corr;
+                true
+            }
+            _ => false,
         }
-        self.kick_corr[h.idx()] = corr;
-        true
     }
 
     /// The correlation ID currently riding with `h`'s pending kick
     /// (0 if none), without consuming it.
     pub fn kick_corr(&self, h: HandlerId) -> u64 {
-        self.kick_corr[h.idx()]
+        self.kick_corr.get(h.idx()).copied().unwrap_or(0)
     }
 
     /// Remove and return the correlation ID riding with `h`'s pending
     /// kick (0 if none) — called when a handler turn begins.
     pub fn take_kick_corr(&mut self, h: HandlerId) -> u64 {
-        std::mem::take(&mut self.kick_corr[h.idx()])
+        self.kick_corr
+            .get_mut(h.idx())
+            .map(std::mem::take)
+            .unwrap_or(0)
     }
 }
 
@@ -244,6 +318,65 @@ mod tests {
         assert_eq!(w.take_kick_corr(a), 5);
         assert_eq!(w.take_kick_corr(a), 0, "taken once");
         assert_eq!(w.take_kick_corr(b), 0, "independent slots");
+    }
+
+    #[test]
+    fn unregistered_handler_kick_is_refused_not_indexed() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        w.queue_work(a);
+        // A kick naming a handler that was never registered is hostile
+        // input: it must be counted and dropped, never panic.
+        assert!(!w.queue_work(HandlerId(7)));
+        assert_eq!(w.rejected_kick_count(), 1);
+        assert!(!w.is_queued(HandlerId(7)));
+        assert!(!w.is_quarantined(HandlerId(7)));
+        assert!(!w.note_kick_corr(HandlerId(7), 9));
+        assert_eq!(w.kick_corr(HandlerId(7)), 0);
+        assert_eq!(w.take_kick_corr(HandlerId(7)), 0);
+        assert_eq!(w.pending(), 1, "valid work untouched");
+    }
+
+    #[test]
+    fn quarantine_drops_pending_work_and_refuses_kicks() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        w.queue_work(a);
+        w.queue_work(b);
+        assert!(w.quarantine(a), "pending invocation discarded");
+        assert!(w.is_quarantined(a));
+        assert!(!w.is_queued(a));
+        assert_eq!(w.pending(), 1);
+        assert!(!w.queue_work(a), "quarantined kicks refused");
+        assert_eq!(w.quarantined_kick_count(), 1);
+        // The neighbor keeps full service.
+        assert_eq!(w.next_work(), Some(b));
+        assert_eq!(w.next_work(), None);
+    }
+
+    #[test]
+    fn release_restores_service_without_requeueing() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        w.queue_work(a);
+        w.quarantine(a);
+        w.release(a);
+        assert!(!w.is_quarantined(a));
+        assert!(!w.has_work(), "release does not requeue by itself");
+        assert!(w.queue_work(a), "next real kick wakes the worker again");
+        assert_eq!(w.next_work(), Some(a));
+    }
+
+    #[test]
+    fn quarantine_clears_riding_kick_corr() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        w.queue_work(a);
+        w.note_kick_corr(a, 42);
+        w.quarantine(a);
+        w.release(a);
+        assert_eq!(w.take_kick_corr(a), 0, "stale span must not resurface");
     }
 
     #[test]

@@ -52,6 +52,26 @@ cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
 cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
 rm -f /tmp/es2_untraced.txt /tmp/es2_traced.txt
 
+# Hostile-guest determinism + containment: the blast-radius report is
+# built from simulation-determined quantities only, so it must be
+# byte-identical serial vs default threads; the run must stay
+# liveness-clean and the storm/quarantine damage must land on the
+# hostile VM alone.
+ES2_THREADS=1 ./target/release/repro --hostile --fast > /tmp/es2_hostile_serial.txt
+./target/release/repro --hostile --fast > /tmp/es2_hostile_default.txt
+cmp /tmp/es2_hostile_serial.txt /tmp/es2_hostile_default.txt
+grep -q "liveness: PASS" /tmp/es2_hostile_serial.txt
+grep -q "leaked to neighbors: 0" /tmp/es2_hostile_serial.txt
+rm -f /tmp/es2_hostile_serial.txt /tmp/es2_hostile_default.txt
+
+# Guest trust boundary: the vhost backend's non-test code must stay free
+# of unwrap() on guest-reachable state — a hostile ring surfaces a typed
+# RingError and a quarantine, never a panic.
+if sed -n '1,/#\[cfg(test)\]/p' crates/virtio/src/vhost.rs | grep -n 'unwrap()'; then
+    echo "unwrap() in the vhost backend hot path: return a typed RingError instead" >&2
+    exit 1
+fi
+
 # Non-fatal perf tripwire: warn when the fresh fast-mode scale sweep runs
 # below the committed floor (already 2x-margined). Wall-clock noise on a
 # loaded CI box is expected — hence warn, not fail.
