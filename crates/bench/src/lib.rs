@@ -351,7 +351,7 @@ pub fn render_fig9(params: Params, seed: u64, rates: &[f64]) -> String {
 pub fn render_chaos(params: Params, seed: u64) -> String {
     use es2_core::EventPathConfig;
     use es2_testbed::experiments::RunSpec;
-    use es2_testbed::{Machine, Topology, WorkloadSpec};
+    use es2_testbed::{Topology, WorkloadSpec};
     use es2_workloads::NetperfSpec;
 
     let plan = experiments::chaos_plan();
@@ -458,16 +458,15 @@ pub fn render_chaos(params: Params, seed: u64) -> String {
     let mut out = t.render();
 
     // One liveness-checked run of the acceptance shape: the invariant
-    // checker's verdict is part of the deterministic report.
-    let (_, report) = Machine::new_faulted(
-        EventPathConfig::pi(),
-        Topology::micro(),
-        WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
-        params,
-        seed,
-        plan,
-    )
-    .run_checked();
+    // checker's verdict is part of the deterministic report. Routed
+    // through the lane-sharded machine so `ES2_LANES` covers the chaos
+    // suite too (one lane — the legacy machine — by default).
+    let topo = Topology::micro();
+    let mut specs = vec![WorkloadSpec::Idle; topo.num_vms as usize];
+    specs[0] = WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024));
+    let (_, report) =
+        es2_testbed::ShardedMachine::auto(EventPathConfig::pi(), topo, specs, params, seed, plan)
+            .run_checked();
     out.push('\n');
     out.push_str(&format!(
         "liveness: {}\n",

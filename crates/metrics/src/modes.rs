@@ -76,6 +76,13 @@ impl ModeAccounting {
         t
     }
 
+    /// Append another ledger's VMs after this one's (lane merging: lane
+    /// `k`'s VM 0 becomes global VM `base_k`, so concatenating ledgers
+    /// in lane order reconstructs the global per-VM indexing).
+    pub fn append(&mut self, other: &ModeAccounting) {
+        self.per_vm.extend_from_slice(&other.per_vm);
+    }
+
     /// VMs with at least one emulated-path delivery.
     pub fn vms_with_emulated_deliveries(&self) -> Vec<usize> {
         self.per_vm

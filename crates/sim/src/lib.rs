@@ -38,6 +38,7 @@
 
 pub mod exec;
 pub mod faults;
+pub mod lane;
 pub mod queue;
 pub mod rng;
 pub mod time;

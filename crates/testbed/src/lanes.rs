@@ -1,0 +1,351 @@
+//! Lane-sharded machine: one simulated run partitioned across per-VM
+//! event lanes (see [`es2_sim::lane`] for the executor and protocol).
+//!
+//! # Partitioning
+//!
+//! A [`ShardedMachine`] splits a topology's VMs into `lanes` contiguous
+//! blocks; each lane is a full [`Machine`] over its block with its own
+//! event-queue shard, RNG streams, scheduler core group, links, packet
+//! factory, and fault-injector streams. Lane 0 keeps the run seed (and
+//! VM 0, the tested VM); lanes `k > 0` derive their seeds from
+//! `(seed, k)` with a SplitMix64 mix. Cross-lane-addressed fault
+//! classes are projected onto each block by
+//! [`FaultPlan::for_vm_range`].
+//!
+//! The **lane count is a model parameter**: sharding gives each block
+//! its own vCPU core group and noise streams, so an `ES2_LANES=4` run
+//! simulates a differently-partitioned host than an `ES2_LANES=1` run
+//! and their results are comparable only at equal lane counts. What is
+//! *guaranteed* invariant — and gated in `verify.sh` at every lane
+//! count — is serial-vs-parallel lane execution: for any seed, fault
+//! plan, and lane count, the windowed parallel executor is byte-
+//! identical to the serial oracle. At `lanes == 1` the sharded machine
+//! constructs exactly the legacy unsharded [`Machine`], so default runs
+//! are bitwise identical to every release before sharding existed.
+//!
+//! # Lookahead and cross-lane traffic
+//!
+//! Lanes exchange events through the executor's mailboxes as
+//! [`CrossLaneMsg`] packets, which enter the receiving lane like a wire
+//! arrival. The lookahead a lane would declare is the external link's
+//! propagation delay ([`CROSS_LANE_LOOKAHEAD`] — no packet can cross
+//! between VMs faster than the wire). The workloads this testbed
+//! currently models are all guest↔external-host flows — no VM ever
+//! addresses a packet at another VM — so no lane has an egress route
+//! and [`LaneSim::lookahead`] truthfully returns `None`: the executor
+//! then runs the lanes embarrassingly parallel in one unbounded window.
+//! The mailbox path stays live (and is exercised by the executor's own
+//! cross-traffic suites) so inter-VM flows can ride it without touching
+//! the protocol.
+
+use es2_core::EventPathConfig;
+use es2_net::Packet;
+use es2_sim::lane::{run_lanes, run_lanes_parallel, run_lanes_serial, LaneSim, Outbox};
+use es2_sim::{FaultPlan, SimDuration, SimTime};
+
+use crate::liveness::{self, LivenessReport};
+use crate::machine::{Machine, Topology};
+use crate::params::Params;
+use crate::results::RunResult;
+use crate::workload::WorkloadSpec;
+
+/// Minimum cross-lane latency: the external link's propagation delay
+/// (`Link::forty_gbe()` — 1 µs). A packet leaving a VM at `t` cannot
+/// reach a VM in another lane before `t + 1 µs`, which is the lookahead
+/// a lane declares once it has inter-VM egress routes.
+pub const CROSS_LANE_LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+/// A packet crossing between lanes, addressed to a lane-local VM index.
+pub struct CrossLaneMsg {
+    /// Destination VM, in the *receiving* lane's local indexing.
+    pub vm: u32,
+    pub pkt: Packet,
+}
+
+/// One lane: a full [`Machine`] over a contiguous VM block.
+struct LaneCell {
+    m: Machine,
+    /// First global VM index of this lane's block.
+    base_vm: u32,
+    /// Set once the lane's run loop reported completion (queue drained
+    /// or `end_time` crossed); a machine past its end stays done even
+    /// if stray events remain queued.
+    done: bool,
+}
+
+impl LaneSim for LaneCell {
+    type Msg = CrossLaneMsg;
+
+    fn next_time(&self) -> Option<SimTime> {
+        if self.done {
+            return None;
+        }
+        self.m.next_event_time()
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // No workload in this testbed generates inter-VM traffic, so no
+        // lane has an egress route; see module docs. With egress this
+        // becomes `Some(CROSS_LANE_LOOKAHEAD)`.
+        None
+    }
+
+    fn step(&mut self, _outbox: &mut Outbox<CrossLaneMsg>) {
+        if !self.m.step_one() {
+            self.done = true;
+        }
+    }
+
+    fn receive(&mut self, at: SimTime, msg: CrossLaneMsg) {
+        self.m.receive_cross(at, msg.vm, msg.pkt);
+    }
+}
+
+/// SplitMix64 — derives lane seeds from `(seed, lane)` so shards draw
+/// from unrelated streams while lane 0 keeps the run seed.
+fn lane_seed(seed: u64, lane: usize) -> u64 {
+    if lane == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (lane as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A simulation run sharded into per-VM event lanes.
+pub struct ShardedMachine {
+    cells: Vec<LaneCell>,
+}
+
+impl ShardedMachine {
+    /// Build a sharded testbed over `lanes` contiguous VM blocks.
+    ///
+    /// `lanes` is clamped to `[1, num_vms]`. With `lanes == 1` this is
+    /// exactly [`Machine::with_specs_faulted`] — same arguments, same
+    /// bytes out. With more lanes, each block gets its own core group
+    /// (`vcpus_per_vm` shared vCPU cores + one vhost core per VM, plus
+    /// any spare cores the original parameters carried), seed-derived
+    /// RNG streams, and the fault plan projected onto its block.
+    pub fn with_specs_faulted(
+        cfg: EventPathConfig,
+        topo: Topology,
+        specs: Vec<WorkloadSpec>,
+        params: Params,
+        seed: u64,
+        plan: FaultPlan,
+        lanes: usize,
+    ) -> Self {
+        assert_eq!(specs.len(), topo.num_vms as usize);
+        let n = topo.num_vms as usize;
+        let lanes = lanes.clamp(1, n.max(1));
+        if lanes == 1 {
+            // The legacy unsharded machine, untransformed: pre-sharding
+            // byte identity for every default run.
+            let m = Machine::with_specs_faulted(cfg, topo, specs, params, seed, plan);
+            return ShardedMachine {
+                cells: vec![LaneCell {
+                    m,
+                    base_vm: 0,
+                    done: false,
+                }],
+            };
+        }
+
+        // Cores beyond the topology's requirement are carried into every
+        // lane (idle tick chains park after one event, so spares are
+        // almost free and keep per-lane parameters valid).
+        assert!(
+            params.num_cores >= topo.vcpus_per_vm + topo.num_vms,
+            "not enough cores for vCPUs + vhost workers"
+        );
+        let spare = params.num_cores - (topo.vcpus_per_vm + topo.num_vms);
+        let base_size = n / lanes;
+        let remainder = n % lanes;
+        let mut cells = Vec::with_capacity(lanes);
+        let mut base = 0usize;
+        for k in 0..lanes {
+            let cnt = base_size + usize::from(k < remainder);
+            let lane_topo = Topology {
+                num_vms: cnt as u32,
+                vcpus_per_vm: topo.vcpus_per_vm,
+            };
+            let mut p = params;
+            p.num_cores = topo.vcpus_per_vm + cnt as u32 + spare;
+            if p.trace_events > 0 {
+                // Deterministic event-log budget split; lane 0 keeps the
+                // remainder (it owns the tested VM).
+                let share = p.trace_events / lanes as u32;
+                p.trace_events = if k == 0 {
+                    share + p.trace_events % lanes as u32
+                } else {
+                    share
+                };
+            }
+            let lane_specs = specs[base..base + cnt].to_vec();
+            let lane_plan = plan.for_vm_range(base as u32, cnt as u32);
+            let m = Machine::with_specs_faulted(
+                cfg,
+                lane_topo,
+                lane_specs,
+                p,
+                lane_seed(seed, k),
+                lane_plan,
+            );
+            cells.push(LaneCell {
+                m,
+                base_vm: base as u32,
+                done: false,
+            });
+            base += cnt;
+        }
+        debug_assert_eq!(base, n);
+        ShardedMachine { cells }
+    }
+
+    /// Build with the lane count resolved from the executor config
+    /// ([`es2_sim::exec::set_lanes`], else `ES2_LANES`, else 1).
+    pub fn auto(
+        cfg: EventPathConfig,
+        topo: Topology,
+        specs: Vec<WorkloadSpec>,
+        params: Params,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
+        let lanes = es2_sim::exec::effective_lanes(topo.num_vms as usize);
+        Self::with_specs_faulted(cfg, topo, specs, params, seed, plan, lanes)
+    }
+
+    /// Number of lanes the run is sharded into.
+    pub fn num_lanes(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Run to completion (strategy per executor config: serial oracle
+    /// under `ES2_THREADS=1`, windowed parallel otherwise — identical
+    /// bytes either way) and collect merged results.
+    pub fn run(mut self) -> RunResult {
+        run_lanes(&mut self.cells);
+        self.collect()
+    }
+
+    /// Run to completion with the serial oracle, regardless of the
+    /// executor config (identity-test hook).
+    pub fn run_serial(mut self) -> RunResult {
+        run_lanes_serial(&mut self.cells);
+        self.collect()
+    }
+
+    /// Run to completion with the windowed parallel executor at an
+    /// explicit worker count (identity-test hook).
+    pub fn run_parallel(mut self, threads: usize) -> RunResult {
+        run_lanes_parallel(&mut self.cells, threads);
+        self.collect()
+    }
+
+    /// Run to completion, check liveness invariants on every lane's
+    /// final state, then collect merged results. Lane `k`'s violations
+    /// are prefixed `lane{k}:` (VM indices inside stay lane-local);
+    /// with one lane the report is identical to
+    /// [`Machine::run_checked`]'s.
+    pub fn run_checked(mut self) -> (RunResult, LivenessReport) {
+        run_lanes(&mut self.cells);
+        let mut merged = LivenessReport::default();
+        let single = self.cells.len() == 1;
+        for (k, cell) in self.cells.iter().enumerate() {
+            let rep = liveness::check(&cell.m);
+            if single {
+                merged = rep;
+                break;
+            }
+            merged.violations.extend(
+                rep.violations
+                    .into_iter()
+                    .map(|v| format!("lane{k} (vms {}..): {v}", cell.base_vm)),
+            );
+            if !rep.diagnostics.is_empty() {
+                merged
+                    .diagnostics
+                    .push_str(&format!("=== lane{k} ===\n{}", rep.diagnostics));
+            }
+        }
+        (self.collect(), merged)
+    }
+
+    /// Run to completion, returning merged results plus a final state
+    /// snapshot (lane-prefixed for sharded runs, the plain machine
+    /// snapshot for one lane).
+    pub fn run_with_snapshot(mut self) -> (RunResult, String) {
+        run_lanes(&mut self.cells);
+        let snap = if self.cells.len() == 1 {
+            self.cells[0].m.debug_snapshot()
+        } else {
+            let mut s = String::new();
+            for (k, cell) in self.cells.iter().enumerate() {
+                s.push_str(&format!(
+                    "=== lane {k} (vms {}..{}) ===\n",
+                    cell.base_vm,
+                    cell.base_vm + cell.m.topo.num_vms
+                ));
+                s.push_str(&cell.m.debug_snapshot());
+            }
+            s
+        };
+        (self.collect(), snap)
+    }
+
+    /// Run every lane to completion *individually*, timing each — the
+    /// per-lane serial wall-clock attribution behind the scale bench's
+    /// `in_run_speedup` (critical-path speedup = Σ lane wall / max lane
+    /// wall). Valid exactly because no lane currently has cross-lane
+    /// egress (lookahead `None`): running the lanes sequentially to
+    /// completion *is* the serial oracle's schedule, so the merged
+    /// result is byte-identical to [`run`](Self::run).
+    pub fn run_lanes_timed(mut self) -> (RunResult, Vec<f64>) {
+        debug_assert!(self.cells.iter().all(|c| c.lookahead().is_none()));
+        let mut secs = Vec::with_capacity(self.cells.len());
+        for cell in &mut self.cells {
+            let t0 = std::time::Instant::now();
+            while !cell.done {
+                if !cell.m.step_one() {
+                    cell.done = true;
+                }
+            }
+            secs.push(t0.elapsed().as_secs_f64());
+        }
+        (self.collect(), secs)
+    }
+
+    /// Merge per-lane results into one run-level [`RunResult`].
+    ///
+    /// Lane 0 owns VM 0 — the tested VM — so every VM-0-scoped metric
+    /// (exits, goodput, RTTs, kick/interrupt counts, …) comes from lane
+    /// 0 verbatim. Global aggregates sum across lanes; per-VM vectors
+    /// concatenate in lane order, which reconstructs global VM indexing
+    /// because blocks are contiguous.
+    fn collect(self) -> RunResult {
+        let mut parts = self.cells.into_iter().map(|c| RunResult::collect(c.m));
+        let mut base = parts.next().expect("at least one lane");
+        for p in parts {
+            base.events_simulated += p.events_simulated;
+            base.host_ctx_switches += p.host_ctx_switches;
+            base.redirections += p.redirections;
+            base.offline_predictions += p.offline_predictions;
+            base.quarantines_total += p.quarantines_total;
+            base.queue_resets_total += p.queue_resets_total;
+            base.fault_stats.merge(&p.fault_stats);
+            base.modes.append(&p.modes);
+            base.backpressure.merge(&p.backpressure);
+            base.backpressure_per_vm.extend(p.backpressure_per_vm);
+            base.rx_p99_us_per_vm.extend(p.rx_p99_us_per_vm);
+            let offset = base.modes.num_vms() as u32 - p.modes.num_vms() as u32;
+            match (&mut base.spans, p.spans) {
+                (Some(a), Some(b)) => a.absorb(b, offset),
+                (None, Some(b)) => base.spans = Some(b),
+                _ => {}
+            }
+        }
+        base
+    }
+}

@@ -35,6 +35,7 @@ pub mod experiments;
 mod external;
 mod guest;
 mod host;
+pub mod lanes;
 pub mod liveness;
 pub mod machine;
 pub mod params;
@@ -42,6 +43,7 @@ pub mod results;
 mod spans;
 pub mod workload;
 
+pub use lanes::ShardedMachine;
 pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology, EV_KIND_NAMES};
 pub use params::{BackpressureParams, Params};

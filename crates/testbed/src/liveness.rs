@@ -164,14 +164,7 @@ impl Machine {
     /// Run to completion, check liveness invariants on the final state,
     /// then collect results.
     pub fn run_checked(mut self) -> (RunResult, LivenessReport) {
-        while let Some((t, ev)) = self.q.pop() {
-            debug_assert!(t >= self.now);
-            self.now = t;
-            if t > self.end_time {
-                break;
-            }
-            self.dispatch_ev(ev);
-        }
+        while self.step_one() {}
         let report = check(&self);
         (RunResult::collect(self), report)
     }

@@ -846,29 +846,52 @@ impl Machine {
 
     /// Run to completion, returning results plus a final state snapshot.
     pub fn run_with_snapshot(mut self) -> (RunResult, String) {
-        while let Some((t, ev)) = self.q.pop() {
-            debug_assert!(t >= self.now);
-            self.now = t;
-            if t > self.end_time {
-                break;
-            }
-            self.dispatch_ev(ev);
-        }
+        while self.step_one() {}
         let snap = self.debug_snapshot();
         (RunResult::collect(self), snap)
     }
 
     /// Run to completion and collect results.
     pub fn run(mut self) -> RunResult {
-        while let Some((t, ev)) = self.q.pop() {
-            debug_assert!(t >= self.now);
-            self.now = t;
-            if t > self.end_time {
-                break;
-            }
-            self.dispatch_ev(ev);
-        }
+        while self.step_one() {}
         RunResult::collect(self)
+    }
+
+    /// Pop and dispatch exactly one event. Returns `false` once the run
+    /// is over — queue drained or the first event past `end_time`
+    /// reached (the clock still advances to that event, exactly as the
+    /// old inline run loop behaved). This is the single-step form the
+    /// lane executor drives; the run loops above are its trivial
+    /// clients, so serial and lane-sharded execution share one
+    /// event-dispatch semantics by construction.
+    pub(crate) fn step_one(&mut self) -> bool {
+        match self.q.pop() {
+            None => false,
+            Some((t, ev)) => {
+                debug_assert!(t >= self.now);
+                self.now = t;
+                if t > self.end_time {
+                    false
+                } else {
+                    self.dispatch_ev(ev);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Time of the next pending event, if any (lane scheduling).
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    /// Accept a packet arriving from another lane at `at`: it enters
+    /// this machine's world exactly like a wire arrival, queued for the
+    /// local `vm`'s host backlog. The lane executor guarantees `at` is
+    /// not in this machine's past and delivers same-time arrivals in a
+    /// deterministic `(time, sender, sender_seq)` order.
+    pub(crate) fn receive_cross(&mut self, at: SimTime, vm: u32, pkt: Packet) {
+        self.q.push(at, Ev::ArriveAtHost { vm, pkt });
     }
 
     /// Dispatch one event, timing its handler into the process-global

@@ -1,0 +1,187 @@
+//! Lane-parallel execution identity: for any seed, fault plan, lane
+//! count, and tracing mode, running the sharded machine's lanes with
+//! the windowed parallel executor must produce results bitwise
+//! identical to the serial oracle — and a one-lane sharded machine must
+//! be bitwise identical to the legacy unsharded [`Machine`].
+//!
+//! Results are compared through their full `Debug` rendering: every
+//! field of [`RunResult`] (including f64s, which Debug prints with
+//! round-trip precision, per-VM vectors, fault/backpressure ledgers,
+//! and the flight-recorder report) participates in the equality.
+
+use es2_sim::{FaultPlan, SimDuration};
+use es2_testbed::experiments::{self, RunSpec};
+use es2_testbed::{Machine, Params, RunResult, Topology, WorkloadSpec};
+use es2_workloads::NetperfSpec;
+
+fn tiny_params() -> Params {
+    Params {
+        warmup: SimDuration::from_millis(20),
+        measure: SimDuration::from_millis(100),
+        ..Params::default()
+    }
+}
+
+fn digest(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+/// The hostile-bench shape: multiplexed topology, victim on VM 0 and a
+/// (possibly hostile) netperf sender on VM 1.
+fn multiplexed_spec(params: Params, seed: u64, faults: FaultPlan) -> RunSpec {
+    RunSpec {
+        cfg: es2_core::EventPathConfig::pi_h_r(es2_core::HybridParams::TCP_QUOTA),
+        topo: Topology::multiplexed(),
+        spec: WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+        params,
+        seed,
+        faults,
+        fill: WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)),
+    }
+}
+
+#[test]
+fn one_lane_is_the_legacy_machine() {
+    let params = tiny_params();
+    for seed in [1u64, 7, 42] {
+        for plan in [FaultPlan::none(), experiments::chaos_plan()] {
+            let spec = multiplexed_spec(params, seed, plan);
+            let mut specs = vec![spec.fill; spec.topo.num_vms as usize];
+            specs[0] = spec.spec;
+            let legacy = Machine::with_specs_faulted(
+                spec.cfg, spec.topo, specs, spec.params, spec.seed, spec.faults,
+            )
+            .run();
+            let sharded = spec.sharded_with(1).run();
+            assert_eq!(
+                digest(&legacy),
+                digest(&sharded),
+                "1-lane sharded run diverged from legacy machine (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lane_parallel_matches_serial_oracle_clean_and_chaos() {
+    let params = tiny_params();
+    for seed in [3u64, 11, 2026] {
+        for plan in [FaultPlan::none(), experiments::chaos_plan()] {
+            let spec = multiplexed_spec(params, seed, plan);
+            for lanes in [2usize, 4] {
+                let serial = spec.sharded_with(lanes).run_serial();
+                for threads in [2usize, 4, 8] {
+                    let par = spec.sharded_with(lanes).run_parallel(threads);
+                    assert_eq!(
+                        digest(&serial),
+                        digest(&par),
+                        "lane-parallel diverged (seed {seed}, {lanes} lanes, {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_parallel_matches_serial_oracle_hostile() {
+    let params = tiny_params();
+    for seed in [5u64, 99] {
+        let spec = multiplexed_spec(params, seed, experiments::hostile_plan(1));
+        for lanes in [2usize, 4] {
+            let serial = spec.sharded_with(lanes).run_serial();
+            let par = spec.sharded_with(lanes).run_parallel(lanes);
+            assert_eq!(
+                digest(&serial),
+                digest(&par),
+                "hostile lane-parallel diverged (seed {seed}, {lanes} lanes)"
+            );
+        }
+    }
+}
+
+#[test]
+fn lane_parallel_matches_serial_oracle_traced() {
+    let mut params = tiny_params();
+    params.trace = true;
+    params.trace_events = 4096;
+    for seed in [8u64, 21] {
+        let spec = multiplexed_spec(params, seed, experiments::chaos_plan());
+        for lanes in [2usize, 4] {
+            let serial = spec.sharded_with(lanes).run_serial();
+            let par = spec.sharded_with(lanes).run_parallel(lanes);
+            assert_eq!(
+                digest(&serial),
+                digest(&par),
+                "traced lane-parallel diverged (seed {seed}, {lanes} lanes)"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_lane_parallel_results() {
+    // Flight-recorder compatibility: a traced lane-parallel run must
+    // agree with the untraced run on every simulation-determined field
+    // (the trace only *observes*). Compare digests with the spans
+    // report stripped from the traced run.
+    let params = tiny_params();
+    let mut traced_params = params;
+    traced_params.trace = true;
+    traced_params.trace_events = 4096;
+    let seed = 17;
+    for lanes in [2usize, 4] {
+        let plain = multiplexed_spec(params, seed, experiments::chaos_plan())
+            .sharded_with(lanes)
+            .run_parallel(lanes);
+        let mut traced = multiplexed_spec(traced_params, seed, experiments::chaos_plan())
+            .sharded_with(lanes)
+            .run_parallel(lanes);
+        assert!(traced.spans.is_some(), "traced run produced no span report");
+        traced.spans = None;
+        assert!(plain.spans.is_none());
+        assert_eq!(
+            digest(&plain),
+            digest(&traced),
+            "tracing perturbed the lane-parallel simulation ({lanes} lanes)"
+        );
+    }
+}
+
+#[test]
+fn scale_cell_identity_and_timed_path() {
+    // The all-active scale shape at a small VM count: serial oracle,
+    // windowed parallel, and the timed per-lane path (the in_run
+    // measurement) must all merge to identical results.
+    let spec = experiments::scale_active_spec(16, tiny_params(), 4242);
+    for lanes in [1usize, 2, 4, 8] {
+        let serial = spec.sharded_with(lanes).run_serial();
+        let par = spec.sharded_with(lanes).run_parallel(lanes.max(2));
+        let (timed, lane_secs) = spec.sharded_with(lanes).run_lanes_timed();
+        assert_eq!(lane_secs.len(), lanes);
+        assert_eq!(
+            digest(&serial),
+            digest(&par),
+            "scale-cell lane-parallel diverged ({lanes} lanes)"
+        );
+        assert_eq!(
+            digest(&serial),
+            digest(&timed),
+            "scale-cell timed path diverged ({lanes} lanes)"
+        );
+    }
+}
+
+#[test]
+fn run_checked_merges_lane_liveness() {
+    let spec = experiments::scale_active_spec(8, tiny_params(), 7);
+    let (_, live) = spec.sharded_with(4).run_checked();
+    assert!(live.ok(), "liveness violations: {:?}", live.violations);
+}
+
+#[test]
+fn lane_count_caps_at_vm_count() {
+    let spec = multiplexed_spec(tiny_params(), 1, FaultPlan::none());
+    let m = spec.sharded_with(64);
+    assert_eq!(m.num_lanes(), 4, "lanes must clamp to the VM count");
+}

@@ -64,6 +64,43 @@ grep -q "liveness: PASS" /tmp/es2_hostile_serial.txt
 grep -q "leaked to neighbors: 0" /tmp/es2_hostile_serial.txt
 rm -f /tmp/es2_hostile_serial.txt /tmp/es2_hostile_default.txt
 
+# Lane-sharded determinism: at every lane count, the windowed parallel
+# lane executor must produce byte-identical reports to the serial oracle
+# (ES2_THREADS=1 runs the lanes serially; the default runs them on
+# worker threads under the bounded-window protocol). The lane count
+# itself is a model parameter — each ES2_LANES value is a differently
+# partitioned host — so reports are only compared at equal lane counts.
+for lanes in 1 4 8; do
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro chaos --fast > /tmp/es2_lane_serial.txt
+    ES2_LANES=$lanes ./target/release/repro chaos --fast > /tmp/es2_lane_default.txt
+    cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+    grep -q "liveness: PASS" /tmp/es2_lane_serial.txt
+
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro --scale --fast > /tmp/es2_lane_serial.txt
+    ES2_LANES=$lanes ./target/release/repro --scale --fast > /tmp/es2_lane_default.txt
+    cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+    grep -q "PASS (0 violations)" /tmp/es2_lane_serial.txt
+
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro --trace --fast > /tmp/es2_lane_serial.txt
+    ES2_LANES=$lanes ./target/release/repro --trace --fast > /tmp/es2_lane_default.txt
+    cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro --hostile --fast > /tmp/es2_lane_serial.txt
+    ES2_LANES=$lanes ./target/release/repro --hostile --fast > /tmp/es2_lane_default.txt
+    cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+    grep -q "liveness: PASS" /tmp/es2_lane_serial.txt
+    grep -q "leaked to neighbors: 0" /tmp/es2_lane_serial.txt
+done
+rm -f /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+
+# Flight-recorder compatibility under sharding: traced lane-parallel
+# runs must be byte-identical to untraced at a multi-lane count (the
+# per-lane tracers only observe; their reports merge deterministically).
+ES2_LANES=4 ./target/release/repro chaos --fast > /tmp/es2_lane_untraced.txt
+ES2_LANES=4 ./target/release/repro chaos --fast --traced > /tmp/es2_lane_traced.txt
+cmp /tmp/es2_lane_untraced.txt /tmp/es2_lane_traced.txt
+rm -f /tmp/es2_lane_untraced.txt /tmp/es2_lane_traced.txt
+
 # Guest trust boundary: the vhost backend's non-test code must stay free
 # of unwrap() on guest-reachable state — a hostile ring surfaces a typed
 # RingError and a quarantine, never a panic.
@@ -82,4 +119,17 @@ awk -v fresh="$fresh" -v floor="$floor" 'BEGIN {
         printf "WARNING: scale events/sec %s below committed floor %s\n", fresh, floor
     else
         printf "scale events/sec %s (floor %s): ok\n", fresh, floor
+}'
+
+# Non-fatal in-run parallelism tripwire: the committed BENCH_scale.json
+# records the critical-path lane speedup on the densest all-active cell
+# at 8 lanes; warn if it ever lands below the 4x target. (Checked on the
+# committed full-mode JSON, not the fast run — fast cells are too small
+# for stable per-lane walls.)
+inrun=$(sed -n 's/.*"in_run_speedup": \([0-9.e+-]*\).*/\1/p' BENCH_scale.json | head -n1)
+awk -v inrun="$inrun" 'BEGIN {
+    if (inrun + 0 < 4.0)
+        printf "WARNING: committed in_run_speedup %s below the 4x lane-scaling target\n", inrun
+    else
+        printf "committed in_run_speedup %s (target 4x): ok\n", inrun
 }'
