@@ -5,6 +5,7 @@
 //! repro --perf [--fast]
 //! repro --trace [--fast]
 //! repro --hostile [--fast]
+//! repro --migrate [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
@@ -28,6 +29,13 @@
 //! re-run clean vs chaos-faulted into `BENCH_faults.json` (fault-layer
 //! overhead + injected-fault counts). Thread count comes from
 //! `ES2_THREADS` (default: all cores).
+//!
+//! `--migrate` runs the multi-host consolidation sweep: a cell of hosts
+//! admits a TCP fleet, live-migrates more and more of it onto host 0,
+//! and reports packing density, blackout p50/p99 and the consolidated
+//! host's event-path p99, plus crash-evacuation and abort-rollback
+//! recovery cells. JSON lands in `BENCH_migrate.json`
+//! (`target/BENCH_migrate_fast.json` with `--fast`).
 //!
 //! `--hostile` runs the hostile-guest blast-radius sweep: one VM runs
 //! ring corruption + doorbell/EOI storms against a backpressured host
@@ -124,6 +132,34 @@ fn main() {
             "target/BENCH_scale_fast.json"
         } else {
             "BENCH_scale.json"
+        };
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--migrate") {
+        let mut params = Params {
+            trace: args.iter().any(|a| a == "--traced"),
+            ..Params::default()
+        };
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json) = migrate::migrate_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 / ES2_LANES and the defaults. A fast
+        // run must not clobber the committed full-window
+        // BENCH_migrate.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_migrate_fast.json"
+        } else {
+            "BENCH_migrate.json"
         };
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("wrote {path}"),

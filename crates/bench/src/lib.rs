@@ -7,6 +7,7 @@
 //! tests assert the *shapes* (who wins, by what factor).
 
 pub mod hostile;
+pub mod migrate;
 pub mod perf;
 pub mod trace;
 
@@ -476,5 +477,77 @@ pub fn render_chaos(params: Params, seed: u64) -> String {
             format!("FAIL\n  {}", report.violations.join("\n  "))
         }
     ));
+
+    // Host-fault cell, appended after the legacy report so the committed
+    // golden prefix (ci/golden_chaos_fast.txt) stays byte-identical: a
+    // 3-host cell runs one live migration, one aborted migration, a
+    // degraded host (preempt storms) and a host crash with evacuation.
+    // The host/migration RNG streams are forked after the seven per-host
+    // families, so the sweep above draws the exact bytes it always did.
+    {
+        use es2_sim::{FaultPlan, SimDuration, SimTime};
+        use es2_testbed::{Cluster, ClusterSpec, PlannedMove};
+
+        let frac = |num: u64, den: u64| {
+            SimDuration::from_nanos(
+                params.warmup.as_nanos() + params.measure.as_nanos() * num / den,
+            )
+        };
+        let fleet = vec![WorkloadSpec::Netperf(NetperfSpec::tcp_send(1024)); 6];
+        let mut spec = ClusterSpec::new(
+            EventPathConfig::pi_h_r(4),
+            1,
+            fleet,
+            3,
+            2,
+            params,
+            seed,
+        );
+        spec.plan = FaultPlan {
+            host_crash_mask: 0b10,
+            host_crash_at: frac(3, 5),
+            host_degraded_storm_mask: 0b100,
+            host_degraded_storm_p: 0.25,
+            host_degraded_storm_period: SimDuration::from_millis(2),
+            migration_abort_nth: 2,
+            ..FaultPlan::none()
+        };
+        spec.moves = vec![
+            PlannedMove {
+                vm: 0,
+                to: 2,
+                at: SimTime::ZERO + frac(1, 4),
+            },
+            PlannedMove {
+                vm: 4,
+                to: 0,
+                at: SimTime::ZERO + frac(3, 10),
+            },
+        ];
+        let r = Cluster::new(spec).run();
+        out.push('\n');
+        out.push_str(&format!(
+            "host-fault cell (3 hosts x 2 VMs/host, PI+H+R): migrate VM0->host2, abort \
+             VM4->host0, degrade host2, crash host1 @60%\n  ledger: out={} resumed={} aborts={} \
+             retargets={} restarts={} | blackout p99 {:.1} us | final hosts [{}]\n  cell \
+             liveness: {}\n",
+            r.ledger.out,
+            r.ledger.resumed,
+            r.ledger.aborts,
+            r.ledger.retargets,
+            r.ledger.restarts,
+            r.blackout_percentile_us(0.99),
+            r.final_host
+                .iter()
+                .map(|h| h.map_or("-".to_string(), |v| v.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+            if r.liveness.ok() {
+                "PASS (0 violations)".to_string()
+            } else {
+                format!("FAIL\n  {}", r.liveness.violations.join("\n  "))
+            }
+        ));
+    }
     out
 }

@@ -10,19 +10,45 @@ use es2_hypervisor::{AffinityRouter, MsiRouter, RouteCtx, VcpuId};
 use crate::redirect::RedirectionEngine;
 
 /// ES2's drop-in replacement for KVM's MSI routing.
+///
+/// One router instance exists **per host**: the engine's online/offline
+/// lists are rebuilt from that host's own scheduler notifier feed, so they
+/// are host-local state, never datacenter-global. The `host` tag makes
+/// that explicit in every explained route — a migrated VM's stale MSI
+/// replayed on the target host visibly resolves against the *target*'s
+/// lists.
 #[derive(Clone, Debug)]
 pub struct Es2Router {
     engine: RedirectionEngine,
     affinity: AffinityRouter,
+    host: u32,
 }
 
 impl Es2Router {
-    /// A router over a fresh [`RedirectionEngine`].
+    /// A router over a fresh [`RedirectionEngine`] on host 0 (the
+    /// single-host topology).
     pub fn new(engine: RedirectionEngine) -> Self {
+        Es2Router::on_host(engine, 0)
+    }
+
+    /// A router serving one host of a multi-host cell.
+    pub fn on_host(engine: RedirectionEngine, host: u32) -> Self {
         Es2Router {
             engine,
             affinity: AffinityRouter,
+            host,
         }
+    }
+
+    /// The host this router (and its scheduler-state channel) belongs to.
+    pub fn host(&self) -> u32 {
+        self.host
+    }
+
+    /// Re-tag an existing router with its host id (used when a machine
+    /// built standalone is enrolled into a multi-host cell).
+    pub fn set_host(&mut self, host: u32) {
+        self.host = host;
     }
 
     /// Access the engine (scheduler notifier feed, statistics).
@@ -55,6 +81,7 @@ impl Es2Router {
             },
             affinity,
             redirected: chosen != affinity.idx,
+            host: self.host,
         }
     }
 }
@@ -68,6 +95,8 @@ pub struct RoutedMsi {
     pub affinity: VcpuId,
     /// True iff the redirection engine overrode the affinity choice.
     pub redirected: bool,
+    /// The host whose online/offline lists produced this decision.
+    pub host: u32,
 }
 
 impl MsiRouter for Es2Router {
@@ -141,6 +170,29 @@ mod tests {
         );
         assert_eq!(timer.target, timer.affinity);
         assert!(!timer.redirected);
+    }
+
+    #[test]
+    fn routers_on_distinct_hosts_keep_independent_lists() {
+        // Regression for a latent single-host assumption: the engine's
+        // online/offline lists must be per-host, so the same VM index
+        // going online on host A is invisible to host B's router, and
+        // each decision is stamped with the host that made it.
+        let mut a = Es2Router::on_host(RedirectionEngine::new(1, 4), 0);
+        let mut b = Es2Router::on_host(RedirectionEngine::new(1, 4), 1);
+        a.on_sched_change(VcpuId::new(0, 2), true);
+        assert!(a.engine().is_online(0, 2));
+        assert!(!b.engine().is_online(0, 2), "host B sees its own lists only");
+
+        let online = [false, false, true, false];
+        let load = [0; 4];
+        let on_a = a.route_explained(&MsiMessage::fixed(0, 0x41), &ctx(&online, &load));
+        assert_eq!(on_a.host, 0);
+        assert!(on_a.redirected);
+        let none_online = [false; 4];
+        let on_b = b.route_explained(&MsiMessage::fixed(0, 0x41), &ctx(&none_online, &load));
+        assert_eq!(on_b.host, 1);
+        assert_eq!(on_b.target.idx, 0, "B predicts from its own offline list");
     }
 
     #[test]

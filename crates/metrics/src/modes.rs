@@ -83,6 +83,21 @@ impl ModeAccounting {
         self.per_vm.extend_from_slice(&other.per_vm);
     }
 
+    /// Remove and return `vm`'s row, leaving zeros behind (live migration:
+    /// the ledger travels with the VM; the vacated slot starts fresh).
+    pub fn take_vm(&mut self, vm: usize) -> VmModeCounts {
+        std::mem::take(self.slot(vm))
+    }
+
+    /// Fold `counts` into `vm`'s row (live migration: the arriving VM's
+    /// ledger lands on top of whatever the target slot accumulated).
+    pub fn merge_vm(&mut self, vm: usize, counts: VmModeCounts) {
+        let s = self.slot(vm);
+        s.posted += counts.posted;
+        s.emulated += counts.emulated;
+        s.degradations += counts.degradations;
+    }
+
     /// VMs with at least one emulated-path delivery.
     pub fn vms_with_emulated_deliveries(&self) -> Vec<usize> {
         self.per_vm

@@ -303,6 +303,38 @@ impl CfsScheduler {
         self.pick_next(core, now, Some(t))
     }
 
+    /// Forcibly deschedule `t` whatever state it is in — the pause half of
+    /// a live-migration (or hot-unplug) of a vCPU thread. [`Self::block`]
+    /// only handles the voluntary case (the *running* thread blocks
+    /// itself); a migration pause must also take threads that are merely
+    /// queued runnable, which `block` rejects by design.
+    ///
+    /// - Running: behaves like `block` and returns the resulting switch.
+    /// - Runnable: silently dequeued from its core's run queue (the
+    ///   off-core ledger keeps the instant it originally left the core).
+    /// - Sleeping: no-op.
+    pub fn deactivate(&mut self, t: ThreadId, now: SimTime) -> Option<Switch> {
+        match self.threads[t.idx()].state {
+            ThreadState::Running => Some(self.block(t, now)),
+            ThreadState::Sleeping => None,
+            ThreadState::Runnable => {
+                let core = self.threads[t.idx()].core;
+                self.update_curr(core, now);
+                let e = &mut self.threads[t.idx()];
+                let (v, w) = (e.vruntime, e.weight);
+                e.state = ThreadState::Sleeping;
+                let rq = &mut self.cores[core.idx()];
+                assert!(
+                    rq.queue.remove(&(v, t)),
+                    "runnable thread must sit on its core's run queue"
+                );
+                rq.total_weight -= w as u64;
+                rq.nr_running -= 1;
+                None
+            }
+        }
+    }
+
     /// Periodic tick on `core`: charge runtime and enforce the timeslice
     /// (`check_preempt_tick`). Returns a switch if the current entity is
     /// preempted.
@@ -429,6 +461,34 @@ mod tests {
         let sw = s.block(b, t(6));
         assert_eq!(sw.next, None, "core goes idle");
         assert_eq!(s.current(CoreId(0)), None);
+    }
+
+    #[test]
+    fn deactivate_takes_running_runnable_and_sleeping_threads() {
+        let mut s = CfsScheduler::new(1, SchedParams::default());
+        let a = s.add_thread(NICE0, CoreId(0));
+        let b = s.add_thread(NICE0, CoreId(0));
+        let c = s.add_thread(NICE0, CoreId(0));
+        s.wake(a, t(0));
+        s.wake(b, t(1));
+        s.wake(c, t(1));
+        assert_eq!(s.nr_running(CoreId(0)), 3);
+        // b is queued runnable: block() would panic, deactivate dequeues it.
+        assert!(!s.is_running(b));
+        assert!(s.deactivate(b, t(2)).is_none());
+        assert_eq!(s.nr_running(CoreId(0)), 2);
+        // a is running: deactivate behaves like block and switches to c.
+        let sw = s.deactivate(a, t(3)).expect("running thread yields a switch");
+        assert_eq!(sw.prev, Some(a));
+        assert_eq!(sw.next, Some(c));
+        // b already sleeps: deactivate is a no-op.
+        assert!(s.deactivate(b, t(4)).is_none());
+        assert_eq!(s.nr_running(CoreId(0)), 1);
+        // Deactivated threads wake cleanly afterwards (migration resume).
+        s.block(c, t(5));
+        let sw = s.wake(b, t(6)).expect("idle core switches b in");
+        assert_eq!(sw.next, Some(b));
+        assert!(s.is_running(b));
     }
 
     #[test]

@@ -169,6 +169,43 @@ pub struct FaultPlan {
     /// P(the hostile guest publishes a self-referencing descriptor) per
     /// kick, evaluated after the storm draw.
     pub desc_loop_p: f64,
+
+    // ---- host-fault family ----
+    // These classes address *hosts*, not VMs, so they are decided once at
+    // cluster construction by the cluster-level injector; the per-host
+    // machine plans always carry them zeroed (see
+    // [`FaultPlan::for_single_host`]). A single-host `Machine` handed a
+    // plan with only host faults set therefore still runs the clean path.
+    /// Bitmask of host indices that crash outright (bit *h* = host *h*).
+    /// Deterministic — no RNG draw — so a test can pin the failing host.
+    pub host_crash_mask: u64,
+    /// When, relative to run start, the masked (or drawn) hosts crash.
+    /// `ZERO` disables the deterministic mask.
+    pub host_crash_at: SimDuration,
+    /// P(a given host crashes) drawn once per host at admission time from
+    /// the host stream. Crashed hosts fail at `host_crash_at` plus a
+    /// uniform draw in `[0, host_crash_jitter]`.
+    pub host_crash_p: f64,
+    /// Uniform jitter window added to a *drawn* crash time so drawn
+    /// crashes spread out instead of failing in lockstep.
+    pub host_crash_jitter: SimDuration,
+    /// Bitmask of hosts that run degraded (bit *h* = host *h*): their
+    /// cores suffer forced-preemption storms for the whole run, modeling a
+    /// sick-but-alive hypervisor. Projection maps this onto the existing
+    /// per-machine preempt-storm machinery of the affected host only.
+    pub host_degraded_storm_mask: u64,
+    /// Storm probability per core per tick on degraded hosts.
+    pub host_degraded_storm_p: f64,
+    /// Storm tick period on degraded hosts; `ZERO` disables degradation.
+    pub host_degraded_storm_period: SimDuration,
+    /// P(a planned live migration aborts mid-copy and rolls back to the
+    /// source host), drawn once per planned move from the migration
+    /// stream.
+    pub migration_abort_p: f64,
+    /// Deterministically abort the N-th planned migration (1-based; 0
+    /// disables) — outranks the probabilistic draw for that move so tests
+    /// can pin the rollback to an exact move.
+    pub migration_abort_nth: u64,
 }
 
 impl FaultPlan {
@@ -200,6 +237,15 @@ impl FaultPlan {
             eoi_storm_p: 0.0,
             eoi_storm_burst: 0,
             desc_loop_p: 0.0,
+            host_crash_mask: 0,
+            host_crash_at: SimDuration::ZERO,
+            host_crash_p: 0.0,
+            host_crash_jitter: SimDuration::ZERO,
+            host_degraded_storm_mask: 0,
+            host_degraded_storm_p: 0.0,
+            host_degraded_storm_period: SimDuration::ZERO,
+            migration_abort_p: 0.0,
+            migration_abort_nth: 0,
         }
     }
 
@@ -216,6 +262,57 @@ impl FaultPlan {
             || (!self.preempt_storm_period.is_zero() && self.preempt_storm_p > 0.0)
             || self.pi_unavailable_mask != 0
             || self.hostile_active()
+            || self.host_fault_active()
+    }
+
+    /// Whether any host-fault class is enabled. Single-host plans (all
+    /// existing chaos/hostile plans) leave the whole family zero, so their
+    /// runs and reports are untouched by the cluster machinery.
+    pub fn host_fault_active(&self) -> bool {
+        (self.host_crash_mask != 0 && !self.host_crash_at.is_zero())
+            || self.host_crash_p > 0.0
+            || (self.host_degraded_storm_mask != 0
+                && self.host_degraded_storm_p > 0.0
+                && !self.host_degraded_storm_period.is_zero())
+            || self.migration_abort_p > 0.0
+            || self.migration_abort_nth > 0
+    }
+
+    /// Whether host `h` is deterministically scheduled to crash.
+    pub fn crashes_host(&self, h: usize) -> bool {
+        h < 64 && !self.host_crash_at.is_zero() && self.host_crash_mask & (1u64 << h) != 0
+    }
+
+    /// Whether host `h` runs degraded (forced-preemption storms).
+    pub fn degrades_host(&self, h: usize) -> bool {
+        h < 64
+            && self.host_degraded_storm_p > 0.0
+            && !self.host_degraded_storm_period.is_zero()
+            && self.host_degraded_storm_mask & (1u64 << h) != 0
+    }
+
+    /// Project this plan onto one host of a cluster: the host family is
+    /// zeroed (those decisions live at the cluster level), and a degraded
+    /// host has the degradation translated onto its own preempt-storm
+    /// machinery. VM-addressed classes are **not** remapped here — the
+    /// cluster layer composes this with [`for_vm_range`](Self::for_vm_range)
+    /// over the host's global VM block.
+    pub fn for_single_host(&self, host: usize) -> FaultPlan {
+        let mut p = *self;
+        if self.degrades_host(host) {
+            p.preempt_storm_period = self.host_degraded_storm_period;
+            p.preempt_storm_p = self.host_degraded_storm_p;
+        }
+        p.host_crash_mask = 0;
+        p.host_crash_at = SimDuration::ZERO;
+        p.host_crash_p = 0.0;
+        p.host_crash_jitter = SimDuration::ZERO;
+        p.host_degraded_storm_mask = 0;
+        p.host_degraded_storm_p = 0.0;
+        p.host_degraded_storm_period = SimDuration::ZERO;
+        p.migration_abort_p = 0.0;
+        p.migration_abort_nth = 0;
+        p
     }
 
     /// Whether any hostile-guest fault class is enabled. Existing chaos
@@ -297,6 +394,10 @@ pub struct FaultStats {
     pub storm_kicks: u64,
     /// Spurious EOI writes fired by EOI storms.
     pub storm_eois: u64,
+    /// Hosts crashed (deterministic mask plus probabilistic draws).
+    pub host_crashes: u64,
+    /// Planned live migrations aborted mid-copy.
+    pub migration_aborts: u64,
 }
 
 impl FaultStats {
@@ -315,6 +416,8 @@ impl FaultStats {
             + self.ring_corruptions
             + self.storm_kicks
             + self.storm_eois
+            + self.host_crashes
+            + self.migration_aborts
     }
 
     /// Accumulate another counter set (used when merging per-lane shards
@@ -333,6 +436,8 @@ impl FaultStats {
         self.ring_corruptions += o.ring_corruptions;
         self.storm_kicks += o.storm_kicks;
         self.storm_eois += o.storm_eois;
+        self.host_crashes += o.host_crashes;
+        self.migration_aborts += o.migration_aborts;
     }
 }
 
@@ -349,9 +454,14 @@ pub struct FaultInjector {
     storm_rng: SimRng,
     hostile_kick_rng: SimRng,
     hostile_eoi_rng: SimRng,
+    host_rng: SimRng,
+    mig_rng: SimRng,
     /// Kick exits seen from the hostile VM (drives the deterministic
     /// corrupt-at-Nth-kick trigger).
     hostile_kicks_seen: u64,
+    /// Planned migrations seen (drives the deterministic abort-the-Nth
+    /// trigger).
+    moves_planned: u64,
     stats: FaultStats,
 }
 
@@ -364,7 +474,9 @@ impl FaultInjector {
         let active = plan.is_active();
         // Fork order is part of the determinism contract: the hostile
         // streams fork *after* every pre-existing stream so adding them
-        // left the seeds of the older injection points unchanged.
+        // left the seeds of the older injection points unchanged, and the
+        // host-fault streams fork after the hostile pair for the same
+        // reason.
         FaultInjector {
             plan,
             active,
@@ -375,7 +487,10 @@ impl FaultInjector {
             storm_rng: root.fork(),
             hostile_kick_rng: root.fork(),
             hostile_eoi_rng: root.fork(),
+            host_rng: root.fork(),
+            mig_rng: root.fork(),
             hostile_kicks_seen: 0,
+            moves_planned: 0,
             stats: FaultStats::default(),
         }
     }
@@ -536,6 +651,53 @@ impl FaultInjector {
             0
         }
     }
+
+    /// Decide, at cluster construction, whether (and when) host `host`
+    /// crashes. The deterministic mask outranks the probabilistic draw
+    /// and performs no draw at all; the probabilistic class draws exactly
+    /// one Bernoulli per host (plus one jitter draw per *crashing* host)
+    /// from the host stream, so host admission order — not event
+    /// interleaving — is the only thing that shapes the sequence.
+    pub fn on_host_admission(&mut self, host: usize) -> Option<SimDuration> {
+        if !self.active {
+            return None;
+        }
+        if self.plan.crashes_host(host) {
+            self.stats.host_crashes += 1;
+            return Some(self.plan.host_crash_at);
+        }
+        if self.plan.host_crash_p > 0.0 && self.host_rng.gen_bool(self.plan.host_crash_p) {
+            let jitter = self.host_rng.gen_range(self.plan.host_crash_jitter.as_nanos() + 1);
+            self.stats.host_crashes += 1;
+            return Some(self.plan.host_crash_at + SimDuration::from_nanos(jitter));
+        }
+        None
+    }
+
+    /// Decide, at cluster construction, whether the next planned live
+    /// migration aborts mid-copy. Deterministic abort-the-Nth outranks
+    /// (and suppresses the draw for) that move.
+    pub fn on_migration_planned(&mut self) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.moves_planned += 1;
+        if self.plan.migration_abort_nth > 0 {
+            if self.moves_planned == self.plan.migration_abort_nth {
+                self.stats.migration_aborts += 1;
+                return true;
+            }
+            if self.plan.migration_abort_p <= 0.0 {
+                return false;
+            }
+        }
+        if self.plan.migration_abort_p > 0.0 && self.mig_rng.gen_bool(self.plan.migration_abort_p)
+        {
+            self.stats.migration_aborts += 1;
+            return true;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -649,6 +811,8 @@ mod tests {
             assert!(inj.on_storm_tick(8).is_empty());
             assert_eq!(inj.on_hostile_kick(0), HostileKick::NONE);
             assert_eq!(inj.on_hostile_eoi(0), 0);
+            assert_eq!(inj.on_host_admission(0), None);
+            assert!(!inj.on_migration_planned());
         }
         // No RNG state advanced: the clean path is draw-free.
         assert_eq!(before, format!("{:?}", inj.kick_rng));
@@ -848,6 +1012,114 @@ mod tests {
         }
         assert_eq!(inj.stats().storm_kicks, 60);
         assert_eq!(inj.stats().storm_eois, 30);
+    }
+
+    #[test]
+    fn host_fault_fields_activate_the_plan() {
+        assert!(!chaos_plan().host_fault_active(), "chaos plan must stay host-fault-free");
+        assert!(!hostile_plan().host_fault_active());
+        let crash = FaultPlan {
+            host_crash_mask: 0b10,
+            host_crash_at: SimDuration::from_millis(50),
+            ..FaultPlan::none()
+        };
+        assert!(crash.host_fault_active());
+        assert!(crash.is_active());
+        assert!(crash.crashes_host(1));
+        assert!(!crash.crashes_host(0));
+        assert!(!crash.crashes_host(64));
+        let abort = FaultPlan {
+            migration_abort_nth: 1,
+            ..FaultPlan::none()
+        };
+        assert!(abort.host_fault_active() && abort.is_active());
+    }
+
+    #[test]
+    fn for_single_host_projects_degradation_and_zeroes_the_family() {
+        let plan = FaultPlan {
+            host_crash_mask: 0b1,
+            host_crash_at: SimDuration::from_millis(10),
+            host_degraded_storm_mask: 0b100,
+            host_degraded_storm_p: 0.25,
+            host_degraded_storm_period: SimDuration::from_millis(2),
+            migration_abort_p: 0.5,
+            kick_drop_p: 0.05,
+            ..FaultPlan::none()
+        };
+        assert!(plan.degrades_host(2) && !plan.degrades_host(0));
+        let healthy = plan.for_single_host(0);
+        assert!(!healthy.host_fault_active());
+        assert_eq!(healthy.preempt_storm_p, 0.0);
+        assert_eq!(healthy.kick_drop_p, 0.05, "VM-level classes pass through");
+        let sick = plan.for_single_host(2);
+        assert!(!sick.host_fault_active(), "host family never reaches a machine");
+        assert_eq!(sick.preempt_storm_p, 0.25);
+        assert_eq!(sick.preempt_storm_period, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn deterministic_crash_and_abort_triggers() {
+        let plan = FaultPlan {
+            host_crash_mask: 0b101,
+            host_crash_at: SimDuration::from_millis(30),
+            migration_abort_nth: 2,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 11);
+        let before = format!("{:?}", inj.host_rng);
+        assert_eq!(inj.on_host_admission(0), Some(SimDuration::from_millis(30)));
+        assert_eq!(inj.on_host_admission(1), None);
+        assert_eq!(inj.on_host_admission(2), Some(SimDuration::from_millis(30)));
+        assert!(!inj.on_migration_planned());
+        assert!(inj.on_migration_planned(), "second planned move aborts");
+        assert!(!inj.on_migration_planned());
+        // Deterministic triggers draw nothing from either host stream.
+        assert_eq!(before, format!("{:?}", inj.host_rng));
+        assert_eq!(inj.stats().host_crashes, 2);
+        assert_eq!(inj.stats().migration_aborts, 1);
+    }
+
+    #[test]
+    fn host_streams_are_isolated_from_existing_points() {
+        // Enabling the host family must not shift any pre-existing stream:
+        // the two new forks happen after every older stream.
+        let mut plain = FaultInjector::new(chaos_plan(), 13);
+        let mut with_hosts = FaultInjector::new(
+            FaultPlan {
+                host_crash_p: 0.5,
+                host_crash_jitter: SimDuration::from_millis(5),
+                migration_abort_p: 0.25,
+                ..chaos_plan()
+            },
+            13,
+        );
+        for h in 0..16 {
+            with_hosts.on_host_admission(h);
+            with_hosts.on_migration_planned();
+        }
+        for _ in 0..500 {
+            assert_eq!(plain.on_guest_kick(), with_hosts.on_guest_kick());
+            assert_eq!(plain.on_packet(), with_hosts.on_packet());
+            assert_eq!(plain.on_msi(), with_hosts.on_msi());
+            assert_eq!(plain.on_storm_tick(4), with_hosts.on_storm_tick(4));
+        }
+    }
+
+    #[test]
+    fn drawn_crashes_land_inside_the_jitter_window() {
+        let plan = FaultPlan {
+            host_crash_p: 1.0,
+            host_crash_at: SimDuration::from_millis(100),
+            host_crash_jitter: SimDuration::from_millis(10),
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 21);
+        for h in 0..32 {
+            let at = inj.on_host_admission(h).expect("p=1 must crash");
+            assert!(at >= SimDuration::from_millis(100) && at <= SimDuration::from_millis(110));
+        }
+        assert_eq!(inj.stats().host_crashes, 32);
     }
 
     #[test]

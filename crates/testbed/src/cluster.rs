@@ -1,0 +1,824 @@
+//! Multi-host cells: N [`Machine`] hosts as conservative event lanes,
+//! a best-fit placement scheduler, live migration between hosts, and
+//! host-fault injection (crash, degraded host, migration abort).
+//!
+//! # Topology
+//!
+//! Every host runs the **same global slot table**: a fleet of `F` VMs
+//! means every machine is built with `num_vms = F`, and global VM `g`
+//! is slot `g` on whichever host it currently inhabits. Non-resident
+//! slots run [`WorkloadSpec::IdleQuiet`] — a HLT-parked guest with an
+//! idle peer that generates no events — so a slot costs nothing until
+//! a migration installs real state into it. This keeps `FlowId`,
+//! `VcpuId` and every per-VM index globally consistent across moves:
+//! migration never renumbers anything. Packing capacity
+//! ([`ClusterSpec::cap_vms_per_host`]) is an *admission* parameter,
+//! deliberately decoupled from the simulated core count.
+//!
+//! # Placement
+//!
+//! Admission is best-fit by CPU demand ([`best_fit`]): each arriving
+//! VM lands on the host with the least remaining capacity that still
+//! fits (ties to the lowest id), which packs hosts tightly and leaves
+//! whole hosts empty for consolidation. VMs that fit nowhere are
+//! rejected. Crash evacuation uses the opposite rule — least-loaded
+//! alive host — because post-crash the goal is spreading, not packing.
+//!
+//! # Cross-host traffic and determinism
+//!
+//! Hosts exchange traffic through the [`es2_sim::lane`] mailboxes with
+//! the finite [`CROSS_LANE_LOOKAHEAD`] (ROADMAP item 1's windowed
+//! protocol, now exercised by real workloads: a migrated VM's external
+//! peer stays on its home host, so post-move guest↔peer traffic crosses
+//! lanes continuously in both directions). Every cluster decision —
+//! placement, crash times, abort draws, blackout lengths, message
+//! timestamps — is a pure function of `(spec, seed)`, so serial and
+//! windowed-parallel execution are byte-identical at any host count.
+//!
+//! A crashed host freezes at its crash instant: events at or after the
+//! crash time never dispatch, and arrivals at or after it are dropped.
+//! The accept/drop decision depends only on timestamps (never on
+//! executor scheduling), which is what keeps crash runs deterministic
+//! under parallel execution. In-flight events die with the host — a
+//! crash *loses* work (and any external peers it hosted for evacuated
+//! VMs); live migration by contrast loses nothing.
+
+use std::sync::Arc;
+
+use es2_core::EventPathConfig;
+use es2_sim::lane::{run_lanes, run_lanes_parallel, run_lanes_serial, LaneSim, Outbox};
+use es2_sim::{FaultInjector, FaultPlan, SimDuration, SimTime};
+
+use crate::lanes::CROSS_LANE_LOOKAHEAD;
+use crate::liveness::{self, LivenessReport};
+use crate::machine::{Machine, Topology};
+use crate::migrate::{CrossOut, MigCosts, MigLedger, VmSnapshot};
+use crate::params::Params;
+use crate::results::RunResult;
+use crate::workload::WorkloadSpec;
+
+/// A requested live migration: pause `vm` at `at` and move it to host
+/// `to`. The source is wherever the VM lives at `at`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedMove {
+    pub vm: u32,
+    pub to: u32,
+    pub at: SimTime,
+}
+
+/// Full specification of a multi-host cell run.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    pub cfg: EventPathConfig,
+    pub vcpus_per_vm: u32,
+    /// Global VM fleet in arrival order (admission processes this
+    /// in order against `cap_vms_per_host`).
+    pub fleet: Vec<WorkloadSpec>,
+    pub hosts: u32,
+    /// Admission capacity per host, in VMs.
+    pub cap_vms_per_host: u32,
+    pub params: Params,
+    pub seed: u64,
+    /// Fault plan. The host family (crash/degraded/abort) is drawn at
+    /// the cluster level; everything else is applied per host via
+    /// [`FaultPlan::for_single_host`].
+    pub plan: FaultPlan,
+    pub moves: Vec<PlannedMove>,
+    pub costs: MigCosts,
+    /// Delay between a host crash and its victims' cold restarts.
+    pub restart_delay: SimDuration,
+}
+
+impl ClusterSpec {
+    /// A minimal spec: `fleet` over `hosts` hosts, no moves, no faults.
+    pub fn new(
+        cfg: EventPathConfig,
+        vcpus_per_vm: u32,
+        fleet: Vec<WorkloadSpec>,
+        hosts: u32,
+        cap_vms_per_host: u32,
+        params: Params,
+        seed: u64,
+    ) -> Self {
+        ClusterSpec {
+            cfg,
+            vcpus_per_vm,
+            fleet,
+            hosts,
+            cap_vms_per_host,
+            params,
+            seed,
+            plan: FaultPlan::none(),
+            moves: Vec::new(),
+            costs: MigCosts::default(),
+            restart_delay: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Best-fit admission: the host with the least free capacity that still
+/// fits `demand` (ties to the lowest id). `None` if nothing fits.
+pub fn best_fit(demand: u32, free: &[u32]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (h, &f) in free.iter().enumerate() {
+        if f >= demand && best.is_none_or(|b| f < free[b]) {
+            best = Some(h);
+        }
+    }
+    best
+}
+
+/// Evacuation placement: the least-loaded alive host (most free; ties
+/// to the lowest id), ignoring capacity if the cell is overcommitted —
+/// a crash must never strand a victim for lack of headroom.
+fn evacuation_target(free: &[u32], alive: &[bool]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (h, &f) in free.iter().enumerate() {
+        if alive[h] && best.is_none_or(|b| f > free[b]) {
+            best = Some(h);
+        }
+    }
+    best
+}
+
+/// Piecewise-constant VM location maps, shared by every lane for
+/// routing cross-host messages. Built entirely at construction time
+/// (locations are a deterministic function of the spec), so routing a
+/// message is a read-only lookup — no cross-lane state races.
+struct Timeline {
+    /// Per-VM `(since, host)` guest-location segments, time-ascending.
+    guest: Vec<Vec<(SimTime, u32)>>,
+    /// Per-VM external-peer location segments (peers move only on
+    /// crash evacuation, never on live migration).
+    ext: Vec<Vec<(SimTime, u32)>>,
+}
+
+impl Timeline {
+    fn host_at(segs: &[(SimTime, u32)], at: SimTime) -> u32 {
+        debug_assert!(!segs.is_empty(), "location query for an unplaced VM");
+        let mut h = segs[0].1;
+        for &(t, hh) in segs {
+            if t <= at {
+                h = hh;
+            } else {
+                break;
+            }
+        }
+        h
+    }
+
+    fn guest_host(&self, vm: u32, at: SimTime) -> u32 {
+        Self::host_at(&self.guest[vm as usize], at)
+    }
+
+    fn ext_host(&self, vm: u32, at: SimTime) -> u32 {
+        Self::host_at(&self.ext[vm as usize], at)
+    }
+}
+
+/// A message crossing between hosts.
+enum HostMsg {
+    /// Guest-bound wire packet for slot `vm`.
+    Pkt { vm: u32, pkt: es2_net::Packet },
+    /// Peer-bound packet for slot `vm`'s external generator.
+    ExtPkt { vm: u32, pkt: es2_net::Packet },
+    /// A stale MSI chasing its migrated VM.
+    StaleMsi { vm: u32, vector: es2_apic::Vector },
+    /// A migrating VM's snapshot (arrives when the copy phase ends).
+    Snapshot { vm: u32, snap: Box<VmSnapshot> },
+}
+
+/// One host of the cell as a conservative event lane.
+struct HostLane {
+    m: Machine,
+    host: u32,
+    /// The instant this host dies, if the fault plan crashes it. Events
+    /// and arrivals at or after this time never execute.
+    crash_at: Option<SimTime>,
+    done: bool,
+    tl: Arc<Timeline>,
+}
+
+impl HostLane {
+    fn alive_at(&self, at: SimTime) -> bool {
+        self.crash_at.is_none_or(|ca| at < ca)
+    }
+
+    fn deliver_local(&mut self, at: SimTime, msg: HostMsg) {
+        match msg {
+            HostMsg::Pkt { vm, pkt } => self.m.receive_cross(at, vm, pkt),
+            HostMsg::ExtPkt { vm, pkt } => self.m.receive_cross_ext(at, vm, pkt),
+            HostMsg::StaleMsi { vm, vector } => self.m.receive_cross_msi(at, vm, vector),
+            HostMsg::Snapshot { vm, snap } => self.m.receive_snapshot(at, vm, snap),
+        }
+    }
+}
+
+impl LaneSim for HostLane {
+    type Msg = HostMsg;
+
+    fn next_time(&self) -> Option<SimTime> {
+        if self.done {
+            return None;
+        }
+        let t = self.m.next_event_time()?;
+        // A crashed host's clock never reaches its crash instant: the
+        // filter (rather than a sticky flag) keeps the lane's behavior a
+        // pure function of timestamps under any execution order.
+        if self.alive_at(t) {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Cluster lanes always have egress routes (migration, forwarded
+        // traffic), so they run the windowed protocol.
+        Some(CROSS_LANE_LOOKAHEAD)
+    }
+
+    fn step(&mut self, outbox: &mut Outbox<HostMsg>) {
+        if !self.m.step_one() {
+            self.done = true;
+        }
+        for out in self.m.take_cross_out() {
+            let (vm, at, msg) = match out {
+                CrossOut::GuestPkt { vm, at, pkt } => (vm, at, HostMsg::Pkt { vm, pkt }),
+                CrossOut::ExtPkt { vm, at, pkt } => (vm, at, HostMsg::ExtPkt { vm, pkt }),
+                CrossOut::StaleMsi { vm, at, vector } => (vm, at, HostMsg::StaleMsi { vm, vector }),
+                CrossOut::Snapshot { vm, at, snap } => (vm, at, HostMsg::Snapshot { vm, snap }),
+            };
+            let dest = match &msg {
+                HostMsg::ExtPkt { .. } => self.tl.ext_host(vm, at),
+                _ => self.tl.guest_host(vm, at),
+            };
+            if dest == self.host {
+                // The location flipped back to this host within the
+                // forwarding latency (e.g. a move back home): deliver
+                // locally instead of a self-send.
+                self.deliver_local(at, msg);
+            } else {
+                outbox.send(dest as usize, at, msg);
+            }
+        }
+    }
+
+    fn receive(&mut self, at: SimTime, msg: HostMsg) {
+        if !self.alive_at(at) {
+            // Arrivals at or after the crash instant are lost with the
+            // host. Timestamp-only, so serial and parallel agree.
+            return;
+        }
+        self.deliver_local(at, msg);
+    }
+}
+
+/// SplitMix64 host-seed derivation; host 0 keeps the run seed (the same
+/// discipline as lane sharding, so a 1-host cell with no moves is the
+/// plain machine's RNG universe).
+fn host_seed(seed: u64, host: usize) -> u64 {
+    if host == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (host as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One host's final outcome.
+pub struct HostOutcome {
+    pub host: u32,
+    /// `Some(t)`: this host crashed at `t` (its results are partial).
+    pub crashed: Option<SimTime>,
+    pub result: RunResult,
+}
+
+/// Merged outcome of a cell run.
+pub struct ClusterResult {
+    pub per_host: Vec<HostOutcome>,
+    /// Cluster-wide migration/recovery ledger (per-host ledgers merged).
+    pub ledger: MigLedger,
+    pub admitted: u32,
+    pub rejected: u32,
+    pub hosts: u32,
+    pub cap_vms_per_host: u32,
+    /// Final guest location per fleet VM (`None`: rejected at admission,
+    /// mid-blackout at end of run, or lost to a crash window).
+    pub final_host: Vec<Option<u32>>,
+    /// Liveness over every surviving host, violations prefixed `host{h}`.
+    pub liveness: LivenessReport,
+}
+
+impl ClusterResult {
+    /// Packing density: admitted VMs over total cell capacity.
+    pub fn packing_density(&self) -> f64 {
+        let cap = (self.hosts * self.cap_vms_per_host) as f64;
+        if cap == 0.0 {
+            0.0
+        } else {
+            self.admitted as f64 / cap
+        }
+    }
+
+    /// Blackout percentile across every completed migration, in µs.
+    pub fn blackout_percentile_us(&self, q: f64) -> f64 {
+        percentile_ns(&self.ledger.blackout_ns, q) / 1_000.0
+    }
+
+    /// Worst per-VM RX p99 across all surviving hosts, in µs (the
+    /// consolidation sweep's event-path latency figure). Dormant slots
+    /// report 0 and never dominate.
+    pub fn worst_rx_p99_us(&self) -> u64 {
+        self.per_host
+            .iter()
+            .filter(|h| h.crashed.is_none())
+            .flat_map(|h| h.result.rx_p99_us_per_vm.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A stable, complete text digest of the run — the byte-identity
+    /// surface for serial-vs-parallel and traced-vs-untraced gates.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cell hosts={} cap={} admitted={} rejected={} density={:.3}",
+            self.hosts,
+            self.cap_vms_per_host,
+            self.admitted,
+            self.rejected,
+            self.packing_density()
+        );
+        for h in &self.per_host {
+            let r = &h.result;
+            let t = r.modes.totals();
+            let _ = writeln!(
+                s,
+                "host{} crashed={} events={} ctx={} redir={} offline={} \
+                 posted={} emul={} deg={} quar={} resets={} rx_p99=[{}]",
+                h.host,
+                h.crashed.map_or("-".to_string(), |t| t.as_nanos().to_string()),
+                r.events_simulated,
+                r.host_ctx_switches,
+                r.redirections,
+                r.offline_predictions,
+                t.posted,
+                t.emulated,
+                t.degradations,
+                r.quarantines_total,
+                r.queue_resets_total,
+                r.rx_p99_us_per_vm
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        let l = &self.ledger;
+        let _ = writeln!(
+            s,
+            "ledger out={} resumed={} aborts={} retargets={} restarts={} blackout_ns={:?}",
+            l.out, l.resumed, l.aborts, l.retargets, l.restarts, l.blackout_ns
+        );
+        let _ = writeln!(
+            s,
+            "final_host=[{}]",
+            self.final_host
+                .iter()
+                .map(|h| h.map_or("-".to_string(), |v| v.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s
+    }
+}
+
+fn percentile_ns(ns: &[u64], q: f64) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    let mut v = ns.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+    v[idx.min(v.len() - 1)] as f64
+}
+
+/// A constructed multi-host cell, ready to run.
+pub struct Cluster {
+    lanes: Vec<HostLane>,
+    placement: Vec<Option<u32>>,
+    admitted: u32,
+    hosts: u32,
+    cap_vms_per_host: u32,
+}
+
+impl Cluster {
+    /// Build the cell: admit the fleet, draw host faults and abort
+    /// decisions, validate and compile the move/evacuation schedule
+    /// into per-host machines and the shared location timeline.
+    ///
+    /// Panics on schedules the model cannot honor (moves touching a
+    /// host that is already dead, moves of one VM spaced closer than
+    /// the worst-case blackout, blackouts shorter than the lookahead):
+    /// these are plan bugs, not simulated faults.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let hosts = spec.hosts as usize;
+        let n = spec.fleet.len();
+        assert!(hosts >= 1, "a cell needs at least one host");
+        assert!(
+            spec.costs.pause + spec.costs.copy_base + spec.costs.resume >= CROSS_LANE_LOOKAHEAD,
+            "blackout floor must cover the cross-lane lookahead"
+        );
+        assert!(
+            spec.restart_delay >= CROSS_LANE_LOOKAHEAD,
+            "restart delay must cover the cross-lane lookahead"
+        );
+
+        // --- Admission: best-fit by vCPU demand, in arrival order. ---
+        let demand = spec.vcpus_per_vm;
+        let mut free = vec![spec.cap_vms_per_host * demand; hosts];
+        let mut placement: Vec<Option<u32>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            match best_fit(demand, &free) {
+                Some(h) => {
+                    free[h] -= demand;
+                    placement.push(Some(h as u32));
+                }
+                None => placement.push(None),
+            }
+        }
+        let admitted = placement.iter().flatten().count() as u32;
+
+        // --- Cluster-level fault draws (host + migration streams). ---
+        // Same (plan, seed) as the per-host injectors, but this instance
+        // only ever draws the host/migration streams — forked after the
+        // seven per-host families, so clean plans draw nothing and
+        // host-fault plans leave every per-host stream untouched.
+        let mut injector = FaultInjector::new(spec.plan, spec.seed);
+        let crash_at: Vec<Option<SimTime>> = (0..hosts)
+            .map(|h| injector.on_host_admission(h).map(|d| SimTime::ZERO + d))
+            .collect();
+        let aborts: Vec<bool> = spec
+            .moves
+            .iter()
+            .map(|_| injector.on_migration_planned())
+            .collect();
+
+        // --- Compile the move schedule + crash evacuations into the
+        //     location timeline, chronologically. ---
+        // The worst blackout any move can produce bounds how close two
+        // moves of the same VM may be scheduled.
+        let dirty_cap = 4 * spec.params.ring_size as u64 + spec.params.host_backlog as u64;
+        let max_blackout = spec.costs.pause
+            + spec.costs.copy_base
+            + SimDuration::from_nanos(spec.costs.copy_per_unit.as_nanos().saturating_mul(dirty_cap))
+            + spec.costs.resume;
+
+        let mut moves: Vec<(usize, PlannedMove, bool)> = spec
+            .moves
+            .iter()
+            .copied()
+            .zip(aborts)
+            .enumerate()
+            .map(|(i, (m, a))| (i, m, a))
+            .collect();
+        moves.sort_by_key(|(i, m, _)| (m.at, *i));
+        let mut crashes: Vec<(SimTime, usize)> = crash_at
+            .iter()
+            .enumerate()
+            .filter_map(|(h, c)| c.map(|t| (t, h)))
+            .collect();
+        crashes.sort();
+
+        let mut guest_tl: Vec<Vec<(SimTime, u32)>> = placement
+            .iter()
+            .map(|p| p.map(|h| vec![(SimTime::ZERO, h)]).unwrap_or_default())
+            .collect();
+        let mut ext_tl = guest_tl.clone();
+        let mut last_move_at: Vec<Option<SimTime>> = vec![None; n];
+        let mut alive = vec![true; hosts];
+        // Per-host scheduling calls, applied to machines after build:
+        // (at, vm, kind).
+        enum Call {
+            Out { at: SimTime, vm: u32, abort: bool },
+            In { at: SimTime, vm: u32 },
+            Restart { at: SimTime, vm: u32 },
+            ExtRetire { at: SimTime, vm: u32 },
+        }
+        let mut calls: Vec<Vec<Call>> = (0..hosts).map(|_| Vec::new()).collect();
+
+        let mut mi = 0usize;
+        let mut ci = 0usize;
+        while mi < moves.len() || ci < crashes.len() {
+            let take_move = match (moves.get(mi), crashes.get(ci)) {
+                (Some((_, m, _)), Some(&(tc, _))) => m.at < tc,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_move {
+                let (_, m, abort) = moves[mi];
+                mi += 1;
+                let vmi = m.vm as usize;
+                assert!(vmi < n, "move of unknown VM {}", m.vm);
+                assert!(
+                    !guest_tl[vmi].is_empty(),
+                    "move of VM {} that admission rejected",
+                    m.vm
+                );
+                let from = Timeline::host_at(&guest_tl[vmi], m.at);
+                assert!((m.to as usize) < hosts, "move to unknown host {}", m.to);
+                assert_ne!(from, m.to, "move of VM {} to its current host", m.vm);
+                assert!(
+                    alive[from as usize] && alive[m.to as usize],
+                    "move of VM {} touches a host that is already down",
+                    m.vm
+                );
+                if let Some(prev) = last_move_at[vmi] {
+                    assert!(
+                        m.at >= prev + max_blackout + CROSS_LANE_LOOKAHEAD,
+                        "moves of VM {} are closer than the worst-case blackout",
+                        m.vm
+                    );
+                }
+                last_move_at[vmi] = Some(m.at);
+                calls[from as usize].push(Call::Out {
+                    at: m.at,
+                    vm: m.vm,
+                    abort,
+                });
+                if !abort {
+                    calls[m.to as usize].push(Call::In { at: m.at, vm: m.vm });
+                    guest_tl[vmi].push((m.at, m.to));
+                }
+            } else {
+                let (tc, h) = crashes[ci];
+                ci += 1;
+                alive[h] = false;
+                let restart_at = tc + spec.restart_delay;
+                // Occupancy right now, for evacuation spreading.
+                let mut occ_free = vec![0u32; hosts];
+                for (g, segs) in guest_tl.iter().enumerate() {
+                    if !segs.is_empty() {
+                        let at_host = Timeline::host_at(segs, tc) as usize;
+                        occ_free[at_host] += 1;
+                        let _ = g;
+                    }
+                }
+                let cap = spec.cap_vms_per_host;
+                for f in &mut occ_free {
+                    *f = cap.saturating_sub(*f);
+                }
+                // Victims: every VM whose guest lives on `h` at the
+                // crash — including one mid-copy *into* h (its snapshot
+                // will be dropped on arrival) and one mid-abort-rollback
+                // on h. A VM mid-copy *out of* h already reads as moved
+                // (its snapshot left at pause time) and survives.
+                for g in 0..n {
+                    if guest_tl[g].is_empty() {
+                        continue;
+                    }
+                    if Timeline::host_at(&guest_tl[g], tc) as usize != h {
+                        continue;
+                    }
+                    let target = evacuation_target(&occ_free, &alive)
+                        .expect("no surviving host to evacuate to");
+                    occ_free[target] = occ_free[target].saturating_sub(1);
+                    guest_tl[g].push((restart_at, target as u32));
+                    let old_ext = Timeline::host_at(&ext_tl[g], tc) as usize;
+                    ext_tl[g].push((restart_at, target as u32));
+                    calls[target].push(Call::Restart {
+                        at: restart_at,
+                        vm: g as u32,
+                    });
+                    // The restart rebuilds the external peer next to the
+                    // guest; a surviving old peer host retires its copy.
+                    if old_ext != h && old_ext != target && alive[old_ext] {
+                        calls[old_ext].push(Call::ExtRetire {
+                            at: restart_at,
+                            vm: g as u32,
+                        });
+                    }
+                }
+            }
+        }
+
+        let tl = Arc::new(Timeline {
+            guest: guest_tl,
+            ext: ext_tl,
+        });
+
+        // --- Build the host machines over the global slot table. ---
+        let topo = Topology {
+            num_vms: n as u32,
+            vcpus_per_vm: spec.vcpus_per_vm,
+        };
+        let mut p = spec.params;
+        p.num_cores = p.num_cores.max(spec.vcpus_per_vm + n as u32);
+        let mut lanes = Vec::with_capacity(hosts);
+        for h in 0..hosts {
+            let specs_h: Vec<WorkloadSpec> = placement
+                .iter()
+                .zip(&spec.fleet)
+                .map(|(p, w)| {
+                    if *p == Some(h as u32) {
+                        *w
+                    } else {
+                        WorkloadSpec::IdleQuiet
+                    }
+                })
+                .collect();
+            let mut m = Machine::with_specs_faulted(
+                spec.cfg,
+                topo,
+                specs_h,
+                p,
+                host_seed(spec.seed, h),
+                spec.plan.for_single_host(h),
+            );
+            m.enable_cluster(h as u32, spec.costs);
+            for (g, p) in placement.iter().enumerate() {
+                match p {
+                    Some(home) if *home != h as u32 => m.mark_remote(g as u32),
+                    _ => {}
+                }
+            }
+            for call in &calls[h] {
+                match *call {
+                    Call::Out { at, vm, abort } => m.schedule_migration_out(at, vm, abort),
+                    Call::In { at, vm } => m.schedule_migration_in(at, vm),
+                    Call::Restart { at, vm } => {
+                        m.schedule_cold_restart(at, vm, spec.fleet[vm as usize])
+                    }
+                    Call::ExtRetire { at, vm } => m.schedule_ext_retire(at, vm),
+                }
+            }
+            lanes.push(HostLane {
+                m,
+                host: h as u32,
+                crash_at: crash_at[h],
+                done: false,
+                tl: Arc::clone(&tl),
+            });
+        }
+
+        Cluster {
+            lanes,
+            placement,
+            admitted,
+            hosts: spec.hosts,
+            cap_vms_per_host: spec.cap_vms_per_host,
+        }
+    }
+
+    /// Initial placement per fleet VM (`None`: rejected at admission).
+    pub fn placement(&self) -> &[Option<u32>] {
+        &self.placement
+    }
+
+    /// Run under the executor config (serial oracle iff `ES2_THREADS=1`,
+    /// windowed parallel otherwise — identical bytes either way).
+    pub fn run(mut self) -> ClusterResult {
+        run_lanes(&mut self.lanes);
+        self.collect()
+    }
+
+    /// Run with the serial oracle, regardless of config.
+    pub fn run_serial(mut self) -> ClusterResult {
+        run_lanes_serial(&mut self.lanes);
+        self.collect()
+    }
+
+    /// Run with the windowed parallel executor at an explicit worker
+    /// count (identity-test hook).
+    pub fn run_parallel(mut self, threads: usize) -> ClusterResult {
+        run_lanes_parallel(&mut self.lanes, threads);
+        self.collect()
+    }
+
+    fn collect(self) -> ClusterResult {
+        let n = self.placement.len();
+        // Final locations read off the surviving hosts' residency flags
+        // before the machines are consumed.
+        let mut final_host: Vec<Option<u32>> = vec![None; n];
+        for lane in &self.lanes {
+            if lane.crash_at.is_some() {
+                continue;
+            }
+            let Some(mig) = lane.m.mig.as_ref() else {
+                continue;
+            };
+            for (g, fh) in final_host.iter_mut().enumerate() {
+                if self.placement[g].is_some() && mig.guest_local[g] {
+                    debug_assert!(fh.is_none(), "VM {g} resident on two hosts");
+                    *fh = Some(lane.host);
+                }
+            }
+        }
+
+        let mut liveness_merged = LivenessReport::default();
+        for lane in &self.lanes {
+            if lane.crash_at.is_some() {
+                // A crashed host froze mid-flight; its invariants are
+                // deliberately not checked (that is the lost work).
+                continue;
+            }
+            let rep = liveness::check(&lane.m);
+            liveness_merged.violations.extend(
+                rep.violations
+                    .into_iter()
+                    .map(|v| format!("host{}: {v}", lane.host)),
+            );
+            if !rep.diagnostics.is_empty() {
+                liveness_merged
+                    .diagnostics
+                    .push_str(&format!("=== host{} ===\n{}", lane.host, rep.diagnostics));
+            }
+        }
+
+        let mut ledger = MigLedger::default();
+        let mut per_host = Vec::with_capacity(self.lanes.len());
+        for lane in self.lanes {
+            if let Some(l) = lane.m.mig_ledger() {
+                ledger.merge(l);
+            }
+            per_host.push(HostOutcome {
+                host: lane.host,
+                crashed: lane.crash_at,
+                result: RunResult::collect(lane.m),
+            });
+        }
+
+        let rejected = n as u32 - self.admitted;
+        ClusterResult {
+            per_host,
+            ledger,
+            admitted: self.admitted,
+            rejected,
+            hosts: self.hosts,
+            cap_vms_per_host: self.cap_vms_per_host,
+            final_host,
+            liveness: liveness_merged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_fit_packs_tightest_host_first() {
+        // Free capacities: host1 fits snugly (2), host0 loosely (4).
+        assert_eq!(best_fit(2, &[4, 2, 8]), Some(1));
+        // Ties go to the lowest id.
+        assert_eq!(best_fit(2, &[4, 4, 8]), Some(0));
+        // Exact fill allowed; nothing fits → None.
+        assert_eq!(best_fit(8, &[4, 2, 8]), Some(2));
+        assert_eq!(best_fit(9, &[4, 2, 8]), None);
+    }
+
+    #[test]
+    fn best_fit_admission_fills_then_rejects() {
+        // 2 hosts × cap 2 VMs × 1 vCPU: 4 admitted, 5th rejected.
+        let mut free = vec![2u32, 2];
+        let mut placed = Vec::new();
+        for _ in 0..5 {
+            match best_fit(1, &free) {
+                Some(h) => {
+                    free[h] -= 1;
+                    placed.push(Some(h));
+                }
+                None => placed.push(None),
+            }
+        }
+        assert_eq!(
+            placed,
+            vec![Some(0), Some(0), Some(1), Some(1), None],
+            "best-fit packs host 0 full before touching host 1"
+        );
+    }
+
+    #[test]
+    fn evacuation_prefers_least_loaded_alive_host() {
+        // Host 0 dead, host 2 has the most headroom.
+        assert_eq!(evacuation_target(&[9, 1, 4], &[false, true, true]), Some(2));
+        // Overcommit allowed: zero free everywhere still places.
+        assert_eq!(evacuation_target(&[0, 0], &[true, true]), Some(0));
+        assert_eq!(evacuation_target(&[0, 0], &[false, false]), None);
+    }
+
+    #[test]
+    fn timeline_lookup_is_piecewise_constant() {
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        let segs = vec![(t(0), 0u32), (t(100), 2), (t(300), 1)];
+        assert_eq!(Timeline::host_at(&segs, t(0)), 0);
+        assert_eq!(Timeline::host_at(&segs, t(99)), 0);
+        assert_eq!(Timeline::host_at(&segs, t(100)), 2);
+        assert_eq!(Timeline::host_at(&segs, t(299)), 2);
+        assert_eq!(Timeline::host_at(&segs, t(10_000)), 1);
+    }
+}

@@ -16,6 +16,15 @@ impl Machine {
     /// Schedule the initial external traffic for every VM.
     pub(crate) fn bootstrap_external(&mut self) {
         for vm in 0..self.ext.len() as u32 {
+            self.bootstrap_external_vm(vm);
+        }
+    }
+
+    /// Schedule the initial external traffic for one VM. Factored out of
+    /// the whole-machine bootstrap so a crash-evacuated VM cold-restarting
+    /// on another host can rebuild its (lost) peer there mid-run.
+    pub(crate) fn bootstrap_external_vm(&mut self, vm: u32) {
+        {
             match &mut self.ext[vm as usize] {
                 ExtWl::TcpSource { send_armed, .. } => {
                     *send_armed = true;

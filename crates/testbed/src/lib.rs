@@ -31,6 +31,7 @@
 //! ```
 
 pub mod backpressure;
+pub mod cluster;
 pub mod experiments;
 mod external;
 mod guest;
@@ -38,14 +39,17 @@ mod host;
 pub mod lanes;
 pub mod liveness;
 pub mod machine;
+pub mod migrate;
 pub mod params;
 pub mod results;
 mod spans;
 pub mod workload;
 
+pub use cluster::{Cluster, ClusterResult, ClusterSpec, PlannedMove};
 pub use lanes::ShardedMachine;
 pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology, EV_KIND_NAMES};
+pub use migrate::{MigCosts, MigLedger};
 pub use params::{BackpressureParams, Params};
 pub use results::RunResult;
 pub use workload::WorkloadSpec;

@@ -322,6 +322,40 @@ pub(crate) enum Ev {
     },
     OpenWindow,
     CloseWindow,
+    /// Live migration: pause `vm` on this (source) host, snapshot it, and
+    /// hand the snapshot to the cluster layer (or stage an abort rollback).
+    MigrateStart {
+        vm: u32,
+    },
+    /// Live migration: a staged snapshot for slot `vm` finishes its copy
+    /// phase — install and resume it here (target host, or source on an
+    /// abort rollback).
+    MigrateArrive {
+        vm: u32,
+    },
+    /// Live migration: the target host learns a VM is inbound for slot
+    /// `vm`; from now until resume it buffers the slot's arrivals
+    /// (blackout window) and forwards guest-egress traffic home.
+    MigrateExpect {
+        vm: u32,
+    },
+    /// A stale MSI forwarded from another host is re-raised here through
+    /// the reliable watchdog path, resolving against *this* host's
+    /// online/offline lists.
+    RetargetMsi {
+        vm: u32,
+        vector: Vector,
+    },
+    /// The external peer of a VM whose home host lost it (crash-restart
+    /// elsewhere rebuilt the peer locally) goes quiet.
+    ExtRetire {
+        vm: u32,
+    },
+    /// A crashed host's victim VM cold-restarts on this host after the
+    /// evacuation delay (placement re-placed it; state starts fresh).
+    ColdRestart {
+        vm: u32,
+    },
 }
 
 /// Display names for [`Ev`] kinds, indexed by [`Ev::kind_idx`]. Public
@@ -349,6 +383,12 @@ pub const EV_KIND_NAMES: &[&str] = &[
     "GuestQueueReset",
     "OpenWindow",
     "CloseWindow",
+    "MigrateStart",
+    "MigrateArrive",
+    "MigrateExpect",
+    "RetargetMsi",
+    "ExtRetire",
+    "ColdRestart",
 ];
 
 impl Ev {
@@ -378,6 +418,12 @@ impl Ev {
             Ev::GuestQueueReset { .. } => 19,
             Ev::OpenWindow => 20,
             Ev::CloseWindow => 21,
+            Ev::MigrateStart { .. } => 22,
+            Ev::MigrateArrive { .. } => 23,
+            Ev::MigrateExpect { .. } => 24,
+            Ev::RetargetMsi { .. } => 25,
+            Ev::ExtRetire { .. } => 26,
+            Ev::ColdRestart { .. } => 27,
         }
     }
 }
@@ -432,6 +478,9 @@ pub struct Machine {
     /// [`Ev::GuestTimer`] for that vCPU is pending. Parks while the vCPU
     /// is halted with nothing deliverable; re-arms on wake.
     guest_timer_armed: Vec<bool>,
+    /// Cluster plumbing (`None` on single-host machines — the entire
+    /// migration layer then costs one pointer test per gated event kind).
+    pub(crate) mig: Option<Box<crate::migrate::MigState>>,
 }
 
 impl Machine {
@@ -668,6 +717,7 @@ impl Machine {
             // bootstrap() pushes every chain, so all start armed.
             tick_armed: vec![true; params.num_cores as usize],
             guest_timer_armed: vec![true; (topo.num_vms * topo.vcpus_per_vm) as usize],
+            mig: None,
         };
         m.bootstrap();
         m
@@ -913,6 +963,18 @@ impl Machine {
     }
 
     pub(crate) fn dispatch(&mut self, ev: Ev) {
+        // Cluster gate: on a multi-host member, events addressed to a VM
+        // that lives elsewhere (or is mid-blackout) are forwarded across
+        // the lane mailbox, buffered, or dropped before the single-host
+        // handlers ever see them. Single-host machines skip the call.
+        let ev = if self.mig.is_some() {
+            match self.mig_gate(ev) {
+                Some(ev) => ev,
+                None => return,
+            }
+        } else {
+            ev
+        };
         match ev {
             Ev::Tick(core) => {
                 // NOHZ-style idle tick stop: with nothing runnable on the
@@ -1017,6 +1079,12 @@ impl Machine {
                     }
                 }
             }
+            Ev::MigrateStart { vm } => self.on_migrate_start(vm),
+            Ev::MigrateArrive { vm } => self.on_migrate_arrive(vm),
+            Ev::MigrateExpect { vm } => self.on_migrate_expect(vm),
+            Ev::RetargetMsi { vm, vector } => self.on_retarget_msi(vm, vector),
+            Ev::ExtRetire { vm } => self.on_ext_retire(vm),
+            Ev::ColdRestart { vm } => self.on_cold_restart(vm),
         }
     }
 
@@ -1746,6 +1814,18 @@ impl Machine {
     /// watchdog periods.
     fn on_watchdog(&mut self) {
         for vm in 0..self.vms.len() as u32 {
+            self.watchdog_scan_vm(vm);
+        }
+        self.q.push(self.now + self.p.watchdog_period, Ev::Watchdog);
+    }
+
+    /// One VM's watchdog pass. Factored out so migration resume can run
+    /// the identical stale-state scan on the target host: a re-raise
+    /// issued here goes through [`Machine::route_and_deliver_msi_from`]
+    /// with watchdog provenance — the reliable path stale MSIs are
+    /// retargeted over after a move.
+    pub(crate) fn watchdog_scan_vm(&mut self, vm: u32) {
+        {
             let vmi = vm as usize;
             // Lost TX kick: exposed buffers while the handler sits in
             // notification mode, yet nobody queued it and it is not
@@ -1810,7 +1890,6 @@ impl Machine {
                 self.route_and_deliver_msi_from(vm, vector, true);
             }
         }
-        self.q.push(self.now + self.p.watchdog_period, Ev::Watchdog);
     }
 
     /// Forced-preemption storm tick: per the plan, force a reschedule on a

@@ -1,0 +1,849 @@
+//! Live migration and cluster plumbing for a [`Machine`] that is one
+//! host of a multi-host cell (see [`crate::cluster`]).
+//!
+//! # State machine
+//!
+//! A move of VM `v` from host `S` to host `T` at pause time `t_p` runs
+//! the classic pause/copy/resume sequence, with every phase a
+//! deterministic function of the VM's state at `t_p`:
+//!
+//! 1. **Pause** (`S`, at `t_p`): every vCPU thread and the vhost worker
+//!    thread are descheduled ([`es2_sched::CfsScheduler::deactivate`] —
+//!    running vCPUs take a migration-forced VM exit on the way out, so
+//!    the source router marks them offline exactly as live Linux would
+//!    see `sched_out` notifier fires). The whole [`VmState`] — virtio
+//!    rings, NIC backlog, parked IRQs, PIR/vIRR posted-interrupt state,
+//!    hybrid-handler mode, quarantine and backpressure ledgers — plus
+//!    every thread's saved segment is packed into a [`VmSnapshot`]. The
+//!    vacated slot becomes a fresh dormant (HLT-idle) VM.
+//! 2. **Copy** (wire, `[t_p, t_p + D)`): the snapshot crosses the lane
+//!    mailbox with arrival time `t_p + D`, where the blackout
+//!    `D = pause + copy_base + copy_per_unit · dirty + resume` scales
+//!    with the dirty unit count (ring occupancy + backlog depth) — the
+//!    dirty-page analog. `D` always exceeds the cross-lane lookahead.
+//! 3. **Resume** (`T`, at `t_p + D`): the snapshot lands in the target
+//!    slot (same global index on every host), threads that were active
+//!    wake (rebuilding the **target** router's online list through the
+//!    ordinary `sched_in` notifier path), saved segments resume, and the
+//!    stale-state scan ([`Machine::watchdog_scan_vm`]) re-kicks stuck
+//!    handlers and re-raises lost MSIs over the reliable watchdog path —
+//!    so an MSI that was in flight on the source when the VM left is
+//!    re-issued against the target's own online/offline lists.
+//!
+//! During `[t_p, t_p + D)` the target buffers the slot's arrivals
+//! (replayed in order at resume); traffic addressed to a slot that lives
+//! elsewhere is forwarded across the mailbox with the finite lookahead.
+//! The external peer never moves on migration — post-move guest↔peer
+//! traffic permanently crosses lanes in both directions, which is what
+//! finally exercises the windowed lane protocol on real workloads.
+//!
+//! **Abort** (mid-copy failure, decided by the fault plan's migration
+//! stream): the source keeps the snapshot, buffers its own arrivals for
+//! the same blackout, and resumes the VM locally — a rollback, not a
+//! loss. **Host crash**: the lane freezes at the crash instant; victims
+//! cold-restart on surviving hosts with fresh state (see
+//! [`Machine::on_cold_restart`]).
+
+use std::collections::VecDeque;
+
+use es2_apic::Vector;
+use es2_hypervisor::{InterruptPath, Vcpu, VcpuId};
+use es2_net::{Packet, PacketFactory};
+use es2_sim::{SimDuration, SimTime};
+use es2_virtio::{VhostWorker, Virtqueue, VirtqueueConfig};
+
+use es2_core::HybridHandler;
+use es2_metrics::VmModeCounts;
+use es2_sched::{ThreadId, ThreadState};
+
+use crate::machine::{Ev, Machine, Segment, VcpuCtx, VmState};
+use crate::workload::{GuestWl, WorkloadSpec};
+
+/// Cost model for one migration's blackout window. All sim-time
+/// constants, so the blackout is a pure function of the paused state.
+#[derive(Clone, Copy, Debug)]
+pub struct MigCosts {
+    /// Fixed pause-phase cost (deschedule + device quiesce).
+    pub pause: SimDuration,
+    /// Fixed copy-phase floor (control channel round trips).
+    pub copy_base: SimDuration,
+    /// Copy cost per dirty unit (one ring entry or backlog packet).
+    pub copy_per_unit: SimDuration,
+    /// Fixed resume-phase cost (install + re-arm on the target).
+    pub resume: SimDuration,
+}
+
+impl Default for MigCosts {
+    fn default() -> Self {
+        MigCosts {
+            pause: SimDuration::from_micros(30),
+            copy_base: SimDuration::from_micros(80),
+            copy_per_unit: SimDuration::from_nanos(150),
+            resume: SimDuration::from_micros(40),
+        }
+    }
+}
+
+/// Everything one migration (or crash recovery) run accounts for on one
+/// host. Sim-time quantities, recorded unconditionally (traced and
+/// untraced runs stay byte-identical because the ledger never feeds back
+/// into simulation decisions).
+#[derive(Clone, Debug, Default)]
+pub struct MigLedger {
+    /// Moves that departed this host (snapshot shipped).
+    pub out: u64,
+    /// Moves that resumed on this host.
+    pub resumed: u64,
+    /// Planned moves that aborted mid-copy and rolled back here.
+    pub aborts: u64,
+    /// Stale MSIs re-raised here after arriving from another host.
+    pub retargets: u64,
+    /// Crash victims cold-restarted on this host.
+    pub restarts: u64,
+    /// Full blackout per resume landing here (nanoseconds).
+    pub blackout_ns: Vec<u64>,
+    /// Pause-phase cost per departure from this host (nanoseconds).
+    pub pause_ns: Vec<u64>,
+    /// Copy-phase cost per departure from this host (nanoseconds).
+    pub copy_ns: Vec<u64>,
+    /// Resume-phase cost per resume landing here (nanoseconds).
+    pub resume_ns: Vec<u64>,
+}
+
+impl MigLedger {
+    /// Fold another host's ledger into this one (cluster-level report).
+    pub fn merge(&mut self, o: &MigLedger) {
+        self.out += o.out;
+        self.resumed += o.resumed;
+        self.aborts += o.aborts;
+        self.retargets += o.retargets;
+        self.restarts += o.restarts;
+        self.blackout_ns.extend_from_slice(&o.blackout_ns);
+        self.pause_ns.extend_from_slice(&o.pause_ns);
+        self.copy_ns.extend_from_slice(&o.copy_ns);
+        self.resume_ns.extend_from_slice(&o.resume_ns);
+    }
+}
+
+/// One planned out-migration, popped in order by [`Ev::MigrateStart`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlannedOut {
+    /// Predrawn mid-copy abort decision (fault plan migration stream).
+    pub(crate) abort: bool,
+}
+
+/// Arrivals buffered while a slot is mid-blackout, replayed at resume
+/// (MSIs first, then packets, each in arrival order).
+#[derive(Debug, Default)]
+pub(crate) struct IncomingBuf {
+    pub(crate) pkts: Vec<Packet>,
+    pub(crate) msis: Vec<Vector>,
+}
+
+/// A cross-host emission staged by the event gate; the owning lane
+/// drains these after every step and routes them via the shared
+/// location timeline.
+pub(crate) enum CrossOut {
+    /// Guest-bound wire arrival for a slot that lives on another host.
+    GuestPkt { vm: u32, at: SimTime, pkt: Packet },
+    /// Peer-bound packet from a guest whose external peer stayed home.
+    ExtPkt { vm: u32, at: SimTime, pkt: Packet },
+    /// An in-flight MSI that outlived its VM's residency here; re-raised
+    /// on the current host over the reliable path.
+    StaleMsi { vm: u32, at: SimTime, vector: Vector },
+    /// A paused VM's full state, arriving when the copy phase ends.
+    Snapshot {
+        vm: u32,
+        at: SimTime,
+        snap: Box<VmSnapshot>,
+    },
+}
+
+/// A paused VM packed for transport (or local abort-rollback).
+pub(crate) struct VmSnapshot {
+    pub(crate) state: VmState,
+    pub(crate) spec: WorkloadSpec,
+    /// Saved per-vCPU segments (preempted remainders travel with the VM).
+    pub(crate) vcpu_segs: Vec<Option<Segment>>,
+    /// Which vCPUs were running/runnable at pause (woken at resume).
+    pub(crate) vcpu_active: Vec<bool>,
+    pub(crate) vhost_seg: Option<Segment>,
+    pub(crate) vhost_active: bool,
+    /// The VM's delivery-mode ledger row (travels with the VM).
+    pub(crate) modes: VmModeCounts,
+    /// Full blackout for this move (pause + copy + resume).
+    pub(crate) blackout: SimDuration,
+    pub(crate) resume_cost: SimDuration,
+}
+
+/// Per-machine cluster state. `Machine::mig` is `None` on single-host
+/// machines, so the whole layer costs one pointer test per gated event.
+pub(crate) struct MigState {
+    /// Slot's guest currently executes on this host.
+    pub(crate) guest_local: Vec<bool>,
+    /// Slot's external peer lives on this host.
+    pub(crate) ext_local: Vec<bool>,
+    /// Mid-blackout arrival buffers (`Some` between expect and resume).
+    pub(crate) incoming: Vec<Option<IncomingBuf>>,
+    /// Snapshots staged for an [`Ev::MigrateArrive`] at this host.
+    pub(crate) staged: Vec<Option<Box<VmSnapshot>>>,
+    /// Planned out-moves per slot, popped by [`Ev::MigrateStart`].
+    pub(crate) out_plan: Vec<VecDeque<PlannedOut>>,
+    /// Cold-restart specs per slot, taken by [`Ev::ColdRestart`].
+    pub(crate) restarts: Vec<Option<WorkloadSpec>>,
+    /// Cross-host emissions staged by the gate, drained by the lane.
+    pub(crate) cross_out: Vec<CrossOut>,
+    pub(crate) costs: MigCosts,
+    pub(crate) ledger: MigLedger,
+}
+
+impl Machine {
+    /// Turn this machine into host `host` of a multi-host cell. Called
+    /// once right after construction; every slot starts fully local
+    /// (bit-identical behavior until `mark_remote`/schedule calls).
+    pub(crate) fn enable_cluster(&mut self, host: u32, costs: MigCosts) {
+        let n = self.topo.num_vms as usize;
+        if let Some(r) = self.router.as_mut() {
+            r.set_host(host);
+        }
+        self.mig = Some(Box::new(MigState {
+            guest_local: vec![true; n],
+            ext_local: vec![true; n],
+            incoming: (0..n).map(|_| None).collect(),
+            staged: (0..n).map(|_| None).collect(),
+            out_plan: vec![VecDeque::new(); n],
+            restarts: vec![None; n],
+            cross_out: Vec::new(),
+            costs,
+            ledger: MigLedger::default(),
+        }));
+    }
+
+    fn mig_mut(&mut self) -> &mut MigState {
+        self.mig.as_mut().expect("cluster machinery not enabled")
+    }
+
+    /// Mark a slot as resident elsewhere (guest and peer both remote).
+    pub(crate) fn mark_remote(&mut self, vm: u32) {
+        let m = self.mig_mut();
+        m.guest_local[vm as usize] = false;
+        m.ext_local[vm as usize] = false;
+    }
+
+    /// Schedule an out-migration of `vm` pausing at `at`. `abort` is the
+    /// predrawn mid-copy failure decision for this move.
+    pub(crate) fn schedule_migration_out(&mut self, at: SimTime, vm: u32, abort: bool) {
+        self.mig_mut().out_plan[vm as usize].push_back(PlannedOut { abort });
+        self.q.push(at, Ev::MigrateStart { vm });
+    }
+
+    /// Schedule the target-side expectation of an inbound move pausing
+    /// at `at` (starts the blackout buffer here).
+    pub(crate) fn schedule_migration_in(&mut self, at: SimTime, vm: u32) {
+        self.q.push(at, Ev::MigrateExpect { vm });
+    }
+
+    /// Schedule a crash victim's cold restart here at `at`.
+    pub(crate) fn schedule_cold_restart(&mut self, at: SimTime, vm: u32, spec: WorkloadSpec) {
+        self.mig_mut().restarts[vm as usize] = Some(spec);
+        self.q.push(at, Ev::ColdRestart { vm });
+    }
+
+    /// Schedule the retirement of `vm`'s external peer here at `at` (its
+    /// guest crash-restarted on another host, which rebuilt the peer).
+    pub(crate) fn schedule_ext_retire(&mut self, at: SimTime, vm: u32) {
+        self.q.push(at, Ev::ExtRetire { vm });
+    }
+
+    /// Drain the cross-host emissions staged since the last step.
+    pub(crate) fn take_cross_out(&mut self) -> Vec<CrossOut> {
+        match self.mig.as_mut() {
+            Some(m) if !m.cross_out.is_empty() => std::mem::take(&mut m.cross_out),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Accept a peer-bound packet forwarded from the VM's current host.
+    pub(crate) fn receive_cross_ext(&mut self, at: SimTime, vm: u32, pkt: Packet) {
+        self.q.push(at, Ev::ArriveAtExt { vm, pkt });
+    }
+
+    /// Accept a stale MSI forwarded from a host the VM left.
+    pub(crate) fn receive_cross_msi(&mut self, at: SimTime, vm: u32, vector: Vector) {
+        self.q.push(at, Ev::RetargetMsi { vm, vector });
+    }
+
+    /// Accept a migrating VM's snapshot, staging its resume at `at`.
+    pub(crate) fn receive_snapshot(&mut self, at: SimTime, vm: u32, snap: Box<VmSnapshot>) {
+        let m = self.mig_mut();
+        debug_assert!(m.staged[vm as usize].is_none(), "double-staged snapshot");
+        m.staged[vm as usize] = Some(snap);
+        self.q.push(at, Ev::MigrateArrive { vm });
+    }
+
+    /// The migration ledger, if this machine is a cluster member.
+    pub fn mig_ledger(&self) -> Option<&MigLedger> {
+        self.mig.as_ref().map(|m| &m.ledger)
+    }
+
+    // -----------------------------------------------------------------
+    // Event gate
+    // -----------------------------------------------------------------
+
+    /// Filter one event through the cluster gate (only called when
+    /// `mig` is `Some`). Returns the event to process locally, or `None`
+    /// if it was forwarded across the mailbox, buffered for resume, or
+    /// dropped (re-armed at resume by construction).
+    pub(crate) fn mig_gate(&mut self, ev: Ev) -> Option<Ev> {
+        match ev {
+            Ev::ArriveAtHost { vm, pkt } => {
+                let now = self.now;
+                let m = self.mig.as_mut().unwrap();
+                let vmi = vm as usize;
+                if let Some(buf) = m.incoming[vmi].as_mut() {
+                    buf.pkts.push(pkt);
+                    None
+                } else if !m.guest_local[vmi] {
+                    let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
+                    m.cross_out.push(CrossOut::GuestPkt { vm, at, pkt });
+                    None
+                } else {
+                    Some(ev)
+                }
+            }
+            Ev::ArriveAtExt { vm, pkt } => {
+                let now = self.now;
+                let m = self.mig.as_mut().unwrap();
+                if !m.ext_local[vm as usize] {
+                    let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
+                    m.cross_out.push(CrossOut::ExtPkt { vm, at, pkt });
+                    None
+                } else {
+                    Some(ev)
+                }
+            }
+            Ev::DelayedMsi { vm, vector } | Ev::RetargetMsi { vm, vector } => {
+                let now = self.now;
+                let m = self.mig.as_mut().unwrap();
+                let vmi = vm as usize;
+                if let Some(buf) = m.incoming[vmi].as_mut() {
+                    buf.msis.push(vector);
+                    None
+                } else if !m.guest_local[vmi] {
+                    let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
+                    m.cross_out.push(CrossOut::StaleMsi { vm, at, vector });
+                    None
+                } else {
+                    Some(ev)
+                }
+            }
+            // A legacy assigned-device IRQ is a device MSI in flight: it
+            // follows the VM like one (buffered or forwarded as the RX
+            // vector over the reliable path).
+            Ev::VfIrq { vm } => {
+                let vector = self.vms[vm as usize].rx_vector;
+                let now = self.now;
+                let m = self.mig.as_mut().unwrap();
+                let vmi = vm as usize;
+                if let Some(buf) = m.incoming[vmi].as_mut() {
+                    buf.msis.push(vector);
+                    None
+                } else if !m.guest_local[vmi] {
+                    let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
+                    m.cross_out.push(CrossOut::StaleMsi { vm, at, vector });
+                    None
+                } else {
+                    Some(ev)
+                }
+            }
+            // Guest-side chains whose state travels inside the snapshot:
+            // a stale instance addressed to a slot that is mid-blackout
+            // or gone is dropped — resume re-arms each from the carried
+            // state (ack_flush_pending, needs_reset, throttle bucket,
+            // stuck-handler scan, RTO chain).
+            Ev::DelayedKick { vm, .. }
+            | Ev::ThrottledKick { vm, .. }
+            | Ev::HandlerRequeue { vm, .. }
+            | Ev::GuestQueueReset { vm, .. }
+            | Ev::AckFlush { vm }
+            | Ev::GuestTcpTimeout { vm } => {
+                let m = self.mig.as_ref().unwrap();
+                let vmi = vm as usize;
+                if !m.guest_local[vmi] || m.incoming[vmi].is_some() {
+                    None
+                } else {
+                    Some(ev)
+                }
+            }
+            _ => Some(ev),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Pause / resume
+    // -----------------------------------------------------------------
+
+    /// Deschedule and pack `vm`, leaving a fresh dormant slot behind.
+    /// Running vCPUs take a migration-forced exit (router sees them go
+    /// offline); every thread's saved segment, the virtio rings, parked
+    /// IRQs, posted-interrupt and ledger state travel in the snapshot.
+    pub(crate) fn pause_vm(&mut self, vm: u32) -> Box<VmSnapshot> {
+        let vmi = vm as usize;
+        let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
+        let vhost_tid = self.vms[vmi].vhost_tid;
+
+        let mut vcpu_active = Vec::with_capacity(vcpu_tids.len());
+        for &tid in &vcpu_tids {
+            vcpu_active.push(self.sched.entity(tid).state != ThreadState::Sleeping);
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        let vhost_active = self.sched.entity(vhost_tid).state != ThreadState::Sleeping;
+        if let Some(sw) = self.sched.deactivate(vhost_tid, self.now) {
+            self.apply_switch(sw);
+        }
+
+        // Saved segments travel with the VM; any pending SegDone dies
+        // via the generation bump.
+        let mut vcpu_segs = Vec::with_capacity(vcpu_tids.len());
+        for &tid in &vcpu_tids {
+            self.threads[tid.idx()].gen.bump();
+            vcpu_segs.push(self.threads[tid.idx()].seg.take());
+        }
+        self.threads[vhost_tid.idx()].gen.bump();
+        let vhost_seg = self.threads[vhost_tid.idx()].seg.take();
+
+        // Flight-recorder correlation IDs reference the *source*
+        // recorder's ledgers; they cannot complete on another host.
+        // Observational state only, zero in untraced runs.
+        let tx_vec = self.vms[vmi].tx_vector;
+        let rx_vec = self.vms[vmi].rx_vector;
+        for v in &mut self.vms[vmi].vcpus {
+            v.corr.take(tx_vec);
+            v.corr.take(rx_vec);
+            v.corr.take(es2_apic::vectors::LOCAL_TIMER_VECTOR);
+        }
+
+        let costs = self.mig.as_ref().unwrap().costs;
+        let dirty = {
+            let s = &self.vms[vmi];
+            s.tx.avail_pending() as u64
+                + s.tx.used_pending() as u64
+                + s.rx.avail_pending() as u64
+                + s.rx.used_pending() as u64
+                + s.backlog.len() as u64
+        };
+        let copy_cost = costs.copy_base
+            + SimDuration::from_nanos(costs.copy_per_unit.as_nanos().saturating_mul(dirty));
+        let blackout = costs.pause + copy_cost + costs.resume;
+
+        let modes = self.modes.take_vm(vmi);
+        let spec = std::mem::replace(&mut self.specs[vmi], WorkloadSpec::IdleQuiet);
+        let fresh = Self::blank_vm_state(
+            &self.p,
+            &self.cfg,
+            vm,
+            &WorkloadSpec::IdleQuiet,
+            false,
+            vcpu_tids,
+            vhost_tid,
+        );
+        let state = std::mem::replace(&mut self.vms[vmi], fresh);
+
+        self.tracer.record(self.now, "mig-pause", vm as u64, dirty);
+        if let Some(sp) = self.spans.as_mut() {
+            sp.migration_phase(
+                vm,
+                "mig-pause",
+                self.now.as_nanos(),
+                costs.pause.as_nanos(),
+                dirty,
+            );
+            sp.migration_phase(
+                vm,
+                "mig-copy",
+                (self.now + costs.pause).as_nanos(),
+                copy_cost.as_nanos(),
+                dirty,
+            );
+        }
+        {
+            let m = self.mig.as_mut().unwrap();
+            m.ledger.pause_ns.push(costs.pause.as_nanos());
+            m.ledger.copy_ns.push(copy_cost.as_nanos());
+        }
+
+        Box::new(VmSnapshot {
+            state,
+            spec,
+            vcpu_segs,
+            vcpu_active,
+            vhost_seg,
+            vhost_active,
+            modes,
+            blackout,
+            resume_cost: costs.resume,
+        })
+    }
+
+    /// Install and resume a snapshot in slot `vm` on this host.
+    pub(crate) fn resume_vm(&mut self, vm: u32, snap: Box<VmSnapshot>) {
+        let vmi = vm as usize;
+        let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
+        let vhost_tid = self.vms[vmi].vhost_tid;
+        let snap = *snap;
+
+        let mut st = snap.state;
+        st.vcpu_tids = vcpu_tids.clone();
+        st.vhost_tid = vhost_tid;
+        // Slot indices are global across the cell, but re-stamp the vCPU
+        // identities defensively (they feed router notifications).
+        for (i, v) in st.vcpus.iter_mut().enumerate() {
+            v.id = VcpuId::new(vm, i as u32);
+        }
+        // Any coalesced throttle wake died with the source's queue; the
+        // next kick re-enters admission from the carried bucket state.
+        st.throttle_armed = [false; 2];
+        self.vms[vmi] = st;
+        self.specs[vmi] = snap.spec;
+        self.modes.merge_vm(vmi, snap.modes);
+
+        for (i, seg) in snap.vcpu_segs.into_iter().enumerate() {
+            let tid = vcpu_tids[i];
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = seg;
+        }
+        self.threads[vhost_tid.idx()].gen.bump();
+        self.threads[vhost_tid.idx()].seg = snap.vhost_seg;
+
+        let buf = {
+            let m = self.mig.as_mut().unwrap();
+            m.guest_local[vmi] = true;
+            m.ledger.resumed += 1;
+            m.ledger.blackout_ns.push(snap.blackout.as_nanos());
+            m.ledger.resume_ns.push(snap.resume_cost.as_nanos());
+            m.incoming[vmi].take()
+        };
+
+        self.tracer.record(self.now, "mig-resume", vm as u64, 0);
+        if let Some(sp) = self.spans.as_mut() {
+            sp.migration_phase(
+                vm,
+                "mig-resume",
+                self.now.as_nanos(),
+                snap.resume_cost.as_nanos(),
+                snap.blackout.as_nanos(),
+            );
+        }
+
+        // Wake what was active at pause. sched_in notifications rebuild
+        // this host's online list; parked IRQs flush on the first wake.
+        for (i, active) in snap.vcpu_active.iter().enumerate() {
+            if *active {
+                self.wake_thread(vcpu_tids[i]);
+            }
+        }
+        if snap.vhost_active || self.vms[vmi].worker.has_work() {
+            self.wake_thread(vhost_tid);
+        }
+
+        // Stale-state scan: the exact watchdog pass, run synchronously.
+        // Re-kicks stuck handlers and re-raises lost MSIs through
+        // route_and_deliver_msi_from — resolving against the *target*
+        // router's freshly rebuilt lists.
+        self.watchdog_scan_vm(vm);
+
+        // Polling-mode handlers whose requeue event died on the source
+        // (the watchdog scan only covers notification mode).
+        let tx_h = self.vms[vmi].tx_h;
+        if !self.vms[vmi].tx.is_broken()
+            && self.vms[vmi].tx.avail_pending() > 0
+            && !self.vms[vmi].worker.is_queued(tx_h)
+            && self.vms[vmi].cur_handler != Some(tx_h)
+        {
+            self.vms[vmi].worker.queue_work(tx_h);
+            self.wake_thread(vhost_tid);
+        }
+
+        // Quarantined rings: the DEVICE_NEEDS_RESET handshake's pending
+        // reset event died with the source queue; re-schedule it.
+        let rx_h = self.vms[vmi].rx_h;
+        if self.vms[vmi].tx.needs_reset() {
+            self.q.push(
+                self.now + self.p.quarantine_reset_delay,
+                Ev::GuestQueueReset { vm, h: tx_h },
+            );
+        }
+        if self.vms[vmi].rx.needs_reset() {
+            self.q.push(
+                self.now + self.p.quarantine_reset_delay,
+                Ev::GuestQueueReset { vm, h: rx_h },
+            );
+        }
+
+        // Delayed-ACK flush and TCP RTO chains, re-armed from carried
+        // workload state (their timer events died on the source).
+        if matches!(
+            self.vms[vmi].wl,
+            GuestWl::NetperfRecv {
+                ack_flush_pending: true,
+                ..
+            }
+        ) {
+            self.q
+                .push(self.now + self.p.delayed_ack_timeout, Ev::AckFlush { vm });
+        }
+        if self.faults.is_active() {
+            let tcp_sender = matches!(
+                &self.vms[vmi].wl,
+                GuestWl::NetperfSend { spec, .. }
+                    if spec.proto == es2_workloads::NetperfProto::Tcp
+            );
+            if tcp_sender {
+                self.q
+                    .push(self.now + self.p.guest_rto_check, Ev::GuestTcpTimeout { vm });
+            }
+        }
+
+        // Replay the blackout's buffered arrivals: stale MSIs first over
+        // the reliable path, then packets in arrival order.
+        if let Some(buf) = buf {
+            for vector in buf.msis {
+                self.note_retarget(vm, vector);
+            }
+            for pkt in buf.pkts {
+                self.on_arrive_host(vm, pkt);
+            }
+        }
+    }
+
+    /// Re-raise a stale MSI on this host over the reliable watchdog
+    /// path, resolved against this host's own online/offline lists.
+    fn note_retarget(&mut self, vm: u32, vector: Vector) {
+        self.mig_mut().ledger.retargets += 1;
+        self.tracer
+            .record(self.now, "mig-retarget", vm as u64, vector as u64);
+        if let Some(sp) = self.spans.as_mut() {
+            sp.migration_phase(vm, "mig-retarget", self.now.as_nanos(), 0, vector as u64);
+        }
+        self.route_and_deliver_msi_from(vm, vector, true);
+    }
+
+    // -----------------------------------------------------------------
+    // Event handlers
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_migrate_start(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let planned = self.mig_mut().out_plan[vmi]
+            .pop_front()
+            .expect("MigrateStart without a planned move");
+        let snap = self.pause_vm(vm);
+        let blackout = snap.blackout;
+        let at = self.now + blackout;
+        if planned.abort {
+            // Mid-copy failure: the move rolls back. The source keeps
+            // the snapshot, rides out the same blackout locally (pause +
+            // attempted copy + resume), and resumes in place.
+            self.tracer.record(self.now, "mig-abort", vm as u64, 0);
+            let m = self.mig_mut();
+            m.ledger.aborts += 1;
+            m.incoming[vmi] = Some(IncomingBuf::default());
+            m.staged[vmi] = Some(snap);
+            self.q.push(at, Ev::MigrateArrive { vm });
+        } else {
+            let m = self.mig_mut();
+            m.ledger.out += 1;
+            m.guest_local[vmi] = false;
+            m.cross_out.push(CrossOut::Snapshot { vm, at, snap });
+        }
+    }
+
+    pub(crate) fn on_migrate_arrive(&mut self, vm: u32) {
+        let snap = self.mig_mut().staged[vm as usize]
+            .take()
+            .expect("MigrateArrive without a staged snapshot");
+        self.resume_vm(vm, snap);
+    }
+
+    pub(crate) fn on_migrate_expect(&mut self, vm: u32) {
+        let m = self.mig_mut();
+        m.incoming[vm as usize].get_or_insert_with(IncomingBuf::default);
+    }
+
+    pub(crate) fn on_retarget_msi(&mut self, vm: u32, vector: Vector) {
+        // The gate already forwarded/buffered if the slot is not local.
+        self.note_retarget(vm, vector);
+    }
+
+    pub(crate) fn on_ext_retire(&mut self, vm: u32) {
+        // The peer's guest crash-restarted on another host, which
+        // rebuilt the peer there; this orphan goes quiet (its pending
+        // sends no-op on the Idle workload).
+        self.ext[vm as usize] = crate::workload::ExtWl::Idle;
+        self.tracer.record(self.now, "ext-retire", vm as u64, 0);
+    }
+
+    /// A crash victim cold-restarts here: fresh VM state, fresh rings,
+    /// and a fresh external peer rebuilt locally (the old one died with
+    /// the crashed host or is retired). In-flight state of the crashed
+    /// host is gone — this is disaster recovery, not live migration —
+    /// but the restarted VM regains full forward progress.
+    pub(crate) fn on_cold_restart(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let spec = self.mig_mut().restarts[vmi]
+            .take()
+            .expect("ColdRestart without a spec");
+        let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
+        let vhost_tid = self.vms[vmi].vhost_tid;
+
+        for &tid in &vcpu_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
+        self.threads[vhost_tid.idx()].gen.bump();
+        self.threads[vhost_tid.idx()].seg = None;
+
+        let fresh = Self::blank_vm_state(
+            &self.p,
+            &self.cfg,
+            vm,
+            &spec,
+            true,
+            vcpu_tids.clone(),
+            vhost_tid,
+        );
+        self.vms[vmi] = fresh;
+        let ext_seed = self.rng.next_u64();
+        self.ext[vmi] = crate::workload::ExtWl::for_spec(&spec, self.p.ext_tcp_window, ext_seed);
+        self.specs[vmi] = spec;
+        {
+            let m = self.mig_mut();
+            m.guest_local[vmi] = true;
+            m.ext_local[vmi] = true;
+            m.incoming[vmi] = None;
+            m.ledger.restarts += 1;
+        }
+        self.tracer.record(self.now, "cold-restart", vm as u64, 0);
+
+        // Boot the guest exactly like bootstrap does: staggered
+        // vruntimes, woken vCPUs, external kick-off, recovery chains.
+        let latency = self.p.sched.sched_latency.as_nanos();
+        for &tid in &vcpu_tids {
+            let nudge = self.rng.gen_range(latency);
+            self.sched.nudge_vruntime(tid, nudge);
+            self.wake_thread(tid);
+        }
+        self.bootstrap_external_vm(vm);
+        if self.faults.is_active() {
+            let tcp_sender = matches!(
+                &self.vms[vmi].wl,
+                GuestWl::NetperfSend { spec, .. }
+                    if spec.proto == es2_workloads::NetperfProto::Tcp
+            );
+            if tcp_sender {
+                self.q
+                    .push(self.now + self.p.guest_rto_check, Ev::GuestTcpTimeout { vm });
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // State construction
+    // -----------------------------------------------------------------
+
+    /// A freshly-initialized [`VmState`] for slot `vm`, mirroring the
+    /// constructor's per-VM block but reusing the slot's existing
+    /// threads. `prefill_rx` pre-fills the RX ring like a booting guest
+    /// driver (cold restart); a dormant vacated slot keeps empty rings
+    /// so ring-conservation invariants hold trivially.
+    pub(crate) fn blank_vm_state(
+        p: &crate::params::Params,
+        cfg: &es2_core::EventPathConfig,
+        vm: u32,
+        spec: &WorkloadSpec,
+        prefill_rx: bool,
+        vcpu_tids: Vec<ThreadId>,
+        vhost_tid: ThreadId,
+    ) -> VmState {
+        let path = if cfg.use_pi {
+            InterruptPath::Posted
+        } else {
+            InterruptPath::Emulated
+        };
+        let nv = vcpu_tids.len();
+        let mut vcpus = Vec::with_capacity(nv);
+        let mut vctx = Vec::with_capacity(nv);
+        for idx in 0..nv {
+            vcpus.push(Vcpu::new(VcpuId::new(vm, idx as u32), path));
+            vctx.push(VcpuCtx::default());
+        }
+        let mut worker = VhostWorker::new();
+        let tx_h = worker.register_handler();
+        let rx_h = worker.register_handler();
+        let vq_cfg = VirtqueueConfig {
+            size: p.ring_size,
+            event_idx: true,
+        };
+        let mut tx = Virtqueue::new(vq_cfg);
+        let mut rx = Virtqueue::new(vq_cfg);
+        tx.driver_disable_interrupts();
+        if prefill_rx {
+            let mut pf_init = PacketFactory::new();
+            for _ in 0..p.ring_size {
+                let placeholder = pf_init.make(
+                    es2_net::FlowId(vm),
+                    es2_net::PacketKind::Data,
+                    0,
+                    SimTime::ZERO,
+                );
+                rx.driver_add(placeholder).expect("ring has room");
+            }
+        }
+        rx.device_disable_notify();
+        let mut tx_handler = match cfg.hybrid {
+            Some(h) => HybridHandler::new(h),
+            None => HybridHandler::stock(),
+        };
+        if let Some(bp) = p.backpressure {
+            tx_handler.set_service_budget(bp.service_budget);
+        }
+        VmState {
+            vcpus,
+            vcpu_tids,
+            vctx,
+            vhost_tid,
+            worker,
+            tx_h,
+            rx_h,
+            cur_handler: None,
+            tx,
+            rx,
+            tx_handler,
+            rx_turn: 0,
+            backlog: es2_net::NicQueue::new(p.host_backlog),
+            tx_vector: 0x41,
+            rx_vector: 0x42,
+            affinity_vcpu: 0,
+            blocked_tx_full: false,
+            guest_idles: spec.guest_idles(),
+            wl: GuestWl::for_spec(spec, p.tcp_window),
+            dropped_tx: 0,
+            vf_drops: 0,
+            parked_irqs: Vec::new(),
+            parked_count: 0,
+            migrated_count: 0,
+            rx_latency: es2_metrics::Summary::new(),
+            pi_failed: false,
+            watchdog_rekicks: 0,
+            watchdog_reraises: 0,
+            guest_rtos: 0,
+            bp: es2_metrics::BackpressureStats::default(),
+            kick_bucket: p.backpressure.as_ref().map(crate::backpressure::KickBucket::new),
+            throttle_armed: [false; 2],
+            budget_window_idx: 0,
+            rx_hist: es2_metrics::Histogram::new(),
+        }
+    }
+}

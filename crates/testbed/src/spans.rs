@@ -24,6 +24,9 @@ use es2_virtio::{HandlerId, VhostWorker};
 /// above any vCPU index.
 const VHOST_TRACK: u32 = 1000;
 
+/// Synthetic Chrome-trace `tid` for live-migration phase slices.
+const MIG_TRACK: u32 = 2000;
+
 /// How a handler kick was signalled — decides which pickup stage closes
 /// the request span and which annotations it carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -403,6 +406,31 @@ impl SpanTracker {
             name: "pi-degrade",
             dur_ns: 0,
             arg: 0,
+        });
+    }
+
+    /// A live-migration phase slice for `vm` ("mig-pause", "mig-copy",
+    /// "mig-resume", "mig-retarget", "mig-abort"). Rendered on its own
+    /// track so `repro --trace` attributes the blackout window per phase;
+    /// `arg` carries the phase's context (dirty units, blackout ns,
+    /// vector). Purely observational — callers gate on `spans.is_some()`
+    /// so traced and untraced runs stay byte-identical.
+    pub(crate) fn migration_phase(
+        &mut self,
+        vm: u32,
+        name: &'static str,
+        at_ns: u64,
+        dur_ns: u64,
+        arg: u64,
+    ) {
+        self.rec.event(SpanEvent {
+            at_ns,
+            vm,
+            track: MIG_TRACK,
+            corr: 0,
+            name,
+            dur_ns,
+            arg,
         });
     }
 

@@ -50,6 +50,9 @@ cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
 ./target/release/repro table1 fig4 --fast > /tmp/es2_untraced.txt
 ./target/release/repro table1 fig4 --fast --traced > /tmp/es2_traced.txt
 cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
+./target/release/repro --migrate --fast > /tmp/es2_untraced.txt
+./target/release/repro --migrate --fast --traced > /tmp/es2_traced.txt
+cmp /tmp/es2_untraced.txt /tmp/es2_traced.txt
 rm -f /tmp/es2_untraced.txt /tmp/es2_traced.txt
 
 # Hostile-guest determinism + containment: the blast-radius report is
@@ -63,6 +66,32 @@ cmp /tmp/es2_hostile_serial.txt /tmp/es2_hostile_default.txt
 grep -q "liveness: PASS" /tmp/es2_hostile_serial.txt
 grep -q "leaked to neighbors: 0" /tmp/es2_hostile_serial.txt
 rm -f /tmp/es2_hostile_serial.txt /tmp/es2_hostile_default.txt
+
+# Multi-host cell determinism: the consolidation/migration report runs
+# N host machines as conservative event lanes with live migrations,
+# crashes and aborts crossing between them, and must still be
+# byte-identical serial (ES2_THREADS=1) vs the default thread count.
+# Every migration in the sweep must resume, and the report must stay
+# liveness-clean.
+ES2_THREADS=1 ./target/release/repro --migrate --fast > /tmp/es2_migrate_serial.txt
+./target/release/repro --migrate --fast > /tmp/es2_migrate_default.txt
+cmp /tmp/es2_migrate_serial.txt /tmp/es2_migrate_default.txt
+grep -q "PASS" /tmp/es2_migrate_serial.txt
+if grep -q "FAIL" /tmp/es2_migrate_serial.txt; then
+    echo "migrate sweep reported a liveness failure" >&2
+    exit 1
+fi
+rm -f /tmp/es2_migrate_serial.txt /tmp/es2_migrate_default.txt
+
+# Non-migration byte-identity: plans that never touch the host-fault
+# family must render the exact bytes they did before multi-host cells
+# existed — the committed golden chaos report is a byte-identical prefix
+# of today's output (the host-fault cell is strictly appended).
+./target/release/repro chaos --fast > /tmp/es2_chaos_now.txt
+head -n "$(wc -l < ci/golden_chaos_fast.txt)" /tmp/es2_chaos_now.txt \
+    | cmp ci/golden_chaos_fast.txt -
+grep -q "cell liveness: PASS" /tmp/es2_chaos_now.txt
+rm -f /tmp/es2_chaos_now.txt
 
 # Lane-sharded determinism: at every lane count, the windowed parallel
 # lane executor must produce byte-identical reports to the serial oracle
@@ -90,6 +119,11 @@ for lanes in 1 4 8; do
     cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
     grep -q "liveness: PASS" /tmp/es2_lane_serial.txt
     grep -q "leaked to neighbors: 0" /tmp/es2_lane_serial.txt
+
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro --migrate --fast > /tmp/es2_lane_serial.txt
+    ES2_LANES=$lanes ./target/release/repro --migrate --fast > /tmp/es2_lane_default.txt
+    cmp /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
+    grep -q "PASS" /tmp/es2_lane_serial.txt
 done
 rm -f /tmp/es2_lane_serial.txt /tmp/es2_lane_default.txt
 
@@ -119,6 +153,20 @@ awk -v fresh="$fresh" -v floor="$floor" 'BEGIN {
         printf "WARNING: scale events/sec %s below committed floor %s\n", fresh, floor
     else
         printf "scale events/sec %s (floor %s): ok\n", fresh, floor
+}'
+
+# Non-fatal blackout tripwire: warn when the fresh fast-mode migration
+# sweep's worst blackout p99 exceeds twice the committed full-window
+# figure. Blackout is sim-time (deterministic per seed), so drift here
+# means the pause/copy/resume cost model or the dirty-state accounting
+# changed — worth a look, not necessarily a failure.
+committed_bo=$(sed -n 's/.*"blackout_p99_us": \([0-9.e+-]*\),*/\1/p' BENCH_migrate.json | sort -g | tail -n1)
+fresh_bo=$(sed -n 's/.*"blackout_p99_us": \([0-9.e+-]*\),*/\1/p' target/BENCH_migrate_fast.json | sort -g | tail -n1)
+awk -v fresh="$fresh_bo" -v committed="$committed_bo" 'BEGIN {
+    if (committed + 0 > 0 && fresh + 0 > 2 * committed)
+        printf "WARNING: migration blackout p99 %s us above 2x committed %s us\n", fresh, committed
+    else
+        printf "migration blackout p99 %s us (committed %s us): ok\n", fresh, committed
 }'
 
 # Non-fatal in-run parallelism tripwire: the committed BENCH_scale.json
