@@ -6,6 +6,7 @@
 //! repro --trace [--fast]
 //! repro --hostile [--fast]
 //! repro --migrate [--fast]
+//! repro --mq [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
@@ -43,6 +44,14 @@
 //! goodput and rx p99 against the clean run and prints the containment
 //! ledger. JSON lands in `BENCH_hostile.json`
 //! (`target/BENCH_hostile_fast.json` with `--fast`).
+//!
+//! `--mq` runs the multi-queue virtio sweep: VM 0 drives a two-flow
+//! TCP stream over q TX/RX pairs sharded across w vhost workers
+//! (mux / hash / affine / passthrough) at 64 and 128 VMs; the report
+//! compares exit rate and rx p99 across the grid, headlining the
+//! passthrough-vs-single-worker-mux dispatch hop at the densest cell.
+//! JSON lands in `BENCH_mq.json` (`target/BENCH_mq_fast.json` with
+//! `--fast`).
 //!
 //! `chaos` renders the seeded acceptance fault plan swept over the
 //! paper's workload shapes. The output contains only deterministic
@@ -160,6 +169,31 @@ fn main() {
             "target/BENCH_migrate_fast.json"
         } else {
             "BENCH_migrate.json"
+        };
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--mq") {
+        let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json) = mq::mq_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 and the default thread count (and
+        // across ES2_LANES / ES2_VHOST_WORKERS). A fast run must not
+        // clobber the committed full-window BENCH_mq.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_mq_fast.json"
+        } else {
+            "BENCH_mq.json"
         };
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("wrote {path}"),

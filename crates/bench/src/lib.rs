@@ -8,6 +8,7 @@
 
 pub mod hostile;
 pub mod migrate;
+pub mod mq;
 pub mod perf;
 pub mod trace;
 

@@ -27,7 +27,7 @@ pub mod tcp;
 pub mod udp;
 pub mod wire;
 
-pub use nic::NicQueue;
+pub use nic::{rss_queue, NicQueue};
 pub use packet::{FlowId, Packet, PacketFactory, PacketKind};
 pub use tcp::TcpFlow;
 pub use wire::{FaultedArrival, Link};

@@ -10,6 +10,22 @@ use std::collections::VecDeque;
 
 use crate::packet::Packet;
 
+/// RSS-style receive spreading: pick the RX queue for an arriving packet
+/// on a multi-queue device, from a hash of the flow identity and the
+/// packet's monotone id. Each simulated flow stands in for a whole
+/// aggregate of real 5-tuples, so the packet id participates in the hash
+/// the way distinct connection tuples would under real Toeplitz RSS —
+/// packets of one simulated flow spread across the device's queues
+/// deterministically. With `queues == 1` every packet lands on queue 0
+/// (the legacy single-queue device, byte-identical behavior).
+pub fn rss_queue(flow: u32, pkt_id: u64, queues: u32) -> u32 {
+    if queues <= 1 {
+        return 0;
+    }
+    let x = (((flow as u64) << 32) ^ pkt_id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((x >> 33) % queues as u64) as u32
+}
+
 /// A bounded FIFO packet queue with drop accounting.
 #[derive(Clone, Debug)]
 pub struct NicQueue {
@@ -151,5 +167,27 @@ mod tests {
         let q = NicQueue::new(1);
         assert_eq!(q.drop_fraction(), 0.0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rss_single_queue_is_always_zero() {
+        for id in 0..64 {
+            assert_eq!(rss_queue(3, id, 1), 0);
+        }
+    }
+
+    #[test]
+    fn rss_spreads_and_is_deterministic() {
+        let queues = 4;
+        let mut hit = vec![0u32; queues as usize];
+        for id in 0..256u64 {
+            let q = rss_queue(7, id, queues);
+            assert!(q < queues);
+            assert_eq!(q, rss_queue(7, id, queues), "stable per packet");
+            hit[q as usize] += 1;
+        }
+        for (q, &n) in hit.iter().enumerate() {
+            assert!(n > 0, "queue {q} never chosen over 256 packets");
+        }
     }
 }

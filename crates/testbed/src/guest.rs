@@ -23,12 +23,13 @@ pub(crate) const META_HTTP_GET: u32 = 2;
 pub(crate) const META_HTTP_GET_SMALL: u32 = 3;
 
 impl Machine {
-    /// Emit one TX packet on the configured device. Paravirtual: expose on
-    /// the TX virtqueue and report whether a kick is due. Assigned VF: the
-    /// guest writes the VF ring and rings its doorbell — untrapped MMIO,
-    /// the frame goes straight to the wire, never a kick (the §VII
-    /// property: SR-IOV already avoids I/O-request exits).
-    fn guest_tx_emit(&mut self, vm: u32, pkt: Packet) -> Result<bool, ()> {
+    /// Emit one TX packet on pair `qi` of the configured device.
+    /// Paravirtual: expose on that TX virtqueue and report whether a kick
+    /// is due. Assigned VF: the guest writes the VF ring and rings its
+    /// doorbell — untrapped MMIO, the frame goes straight to the wire,
+    /// never a kick (the §VII property: SR-IOV already avoids I/O-request
+    /// exits).
+    fn guest_tx_emit(&mut self, vm: u32, qi: usize, pkt: Packet) -> Result<bool, ()> {
         let vmi = vm as usize;
         if self.p.device == crate::params::DeviceKind::AssignedVf {
             let at = self.now + self.p.sriov_dma;
@@ -48,7 +49,7 @@ impl Machine {
             }
             return Ok(false);
         }
-        match self.vms[vmi].tx.driver_add(pkt) {
+        match self.vms[vmi].pairs[qi].tx.driver_add(pkt) {
             Ok(KickDecision::Kick) => Ok(true),
             Ok(KickDecision::NoKick) => Ok(false),
             Err(_) => Err(()),
@@ -83,12 +84,16 @@ impl Machine {
     /// Try to find runnable application work for this vCPU.
     fn select_app_step(&mut self, vm: u32, idx: u32) -> Option<(AppStep, SimDuration)> {
         let vmi = vm as usize;
+        // The vCPU's transmit path uses its own pair of the multi-queue
+        // device (pair 0 on a single-queue device).
+        let qi = self.vms[vmi].tx_pair_for_vcpu(idx);
         // Free TX descriptors including reclaimable used entries (the
         // driver frees completions in its xmit path).
         let tx_room = if self.p.device == crate::params::DeviceKind::AssignedVf {
             u32::MAX
         } else {
-            self.vms[vmi].tx.num_free() as u32 + self.vms[vmi].tx.used_pending() as u32
+            self.vms[vmi].pairs[qi].tx.num_free() as u32
+                + self.vms[vmi].pairs[qi].tx.used_pending() as u32
         };
         match &mut self.vms[vmi].wl {
             GuestWl::NetperfSend { spec, flows, .. } => {
@@ -122,7 +127,7 @@ impl Machine {
                 if tx_room < segs * count {
                     count = tx_room / segs;
                     if count == 0 {
-                        self.block_on_tx_full(vm);
+                        self.block_on_tx_full(vm, qi);
                         return None;
                     }
                 }
@@ -157,7 +162,7 @@ impl Machine {
                     if let GuestWl::Server { pending, .. } = &mut self.vms[vmi].wl {
                         pending.push_front(req);
                     }
-                    self.block_on_tx_full(vm);
+                    self.block_on_tx_full(vm, qi);
                     return None;
                 }
                 let dur = dur + self.take_cache_penalty(vm, idx);
@@ -179,9 +184,10 @@ impl Machine {
         }
     }
 
-    /// Per-packet NAPI cost, size-scaled by the oldest pending frame.
-    fn guest_rx_pkt_cost(&self, vm: u32) -> SimDuration {
-        let bytes = self.vms[vm as usize]
+    /// Per-packet NAPI cost, size-scaled by the oldest pending frame on
+    /// pair `qi`.
+    fn guest_rx_pkt_cost(&self, vm: u32, qi: usize) -> SimDuration {
+        let bytes = self.vms[vm as usize].pairs[qi]
             .rx
             .peek_used()
             .map(|p| p.bytes)
@@ -199,20 +205,21 @@ impl Machine {
         SimDuration::from_nanos(scaled)
     }
 
-    /// The TX ring is full: arm TX-completion interrupts so the driver is
-    /// woken when vhost returns descriptors (virtio-net's stop-queue path).
-    fn block_on_tx_full(&mut self, vm: u32) {
+    /// Pair `qi`'s TX ring is full: arm TX-completion interrupts so the
+    /// driver is woken when vhost returns descriptors (virtio-net's
+    /// stop-queue path). Only this queue stops; siblings keep sending.
+    fn block_on_tx_full(&mut self, vm: u32, qi: usize) {
         let vmi = vm as usize;
-        if self.vms[vmi].blocked_tx_full {
+        if self.vms[vmi].pairs[qi].blocked_tx_full {
             return;
         }
-        self.vms[vmi].blocked_tx_full = true;
-        if self.vms[vmi].tx.driver_enable_interrupts() {
+        self.vms[vmi].pairs[qi].blocked_tx_full = true;
+        if self.vms[vmi].pairs[qi].tx.driver_enable_interrupts() {
             // Completions already arrived: reclaim immediately, no
             // interrupt needed.
-            while self.vms[vmi].tx.driver_take_used().is_some() {}
-            self.vms[vmi].tx.driver_disable_interrupts();
-            self.vms[vmi].blocked_tx_full = false;
+            while self.vms[vmi].pairs[qi].tx.driver_take_used().is_some() {}
+            self.vms[vmi].pairs[qi].tx.driver_disable_interrupts();
+            self.vms[vmi].pairs[qi].blocked_tx_full = false;
         }
     }
 
@@ -247,8 +254,9 @@ impl Machine {
 
     pub(crate) fn complete_app(&mut self, vm: u32, idx: u32, step: AppStep) {
         let vmi = vm as usize;
+        let qi = self.vms[vmi].tx_pair_for_vcpu(idx);
         // Free completed TX descriptors first (free-at-xmit).
-        while self.vms[vmi].tx.driver_take_used().is_some() {}
+        while self.vms[vmi].pairs[qi].tx.driver_take_used().is_some() {}
         let mut need_kick = false;
         match step {
             AppStep::TcpMsg {
@@ -265,10 +273,10 @@ impl Machine {
                         let pkt = self
                             .pf
                             .make(FlowId(flow), PacketKind::Data, payload, self.now);
-                        match self.guest_tx_emit(vm, pkt) {
+                        match self.guest_tx_emit(vm, qi, pkt) {
                             Ok(kick) => need_kick |= kick,
                             Err(()) => {
-                                self.block_on_tx_full(vm);
+                                self.block_on_tx_full(vm, qi);
                                 break 'outer;
                             }
                         }
@@ -288,10 +296,10 @@ impl Machine {
                 'outer: for _ in 0..count {
                     for _ in 0..segs {
                         let pkt = self.pf.make(FlowId(0), PacketKind::Data, payload, self.now);
-                        match self.guest_tx_emit(vm, pkt) {
+                        match self.guest_tx_emit(vm, qi, pkt) {
                             Ok(kick) => need_kick |= kick,
                             Err(()) => {
-                                self.block_on_tx_full(vm);
+                                self.block_on_tx_full(vm, qi);
                                 break 'outer;
                             }
                         }
@@ -304,7 +312,7 @@ impl Machine {
                 }
             }
             AppStep::Serve { req } => {
-                need_kick = self.enqueue_response(vm, req);
+                need_kick = self.enqueue_response(vm, qi, req);
                 if self.window_open {
                     if let GuestWl::Server { served, .. } = &mut self.vms[vmi].wl {
                         *served += 1;
@@ -313,16 +321,16 @@ impl Machine {
             }
         }
         if need_kick {
-            let h = self.vms[vmi].tx_h;
+            let h = self.vms[vmi].pairs[qi].tx_h;
             self.begin_kick_exit(vm, idx, h);
         } else {
             self.start_vcpu_work(vm, idx);
         }
     }
 
-    /// Build and enqueue the response packets for a served request.
-    /// Returns whether a kick is needed.
-    fn enqueue_response(&mut self, vm: u32, req: AppRequest) -> bool {
+    /// Build and enqueue the response packets for a served request on
+    /// pair `qi`. Returns whether a kick is needed.
+    fn enqueue_response(&mut self, vm: u32, qi: usize, req: AppRequest) -> bool {
         let (count, bytes) = match req.op {
             ServerOp::McGet => (
                 1,
@@ -341,10 +349,10 @@ impl Machine {
                 self.now,
                 req.meta,
             );
-            match self.guest_tx_emit(vm, pkt) {
+            match self.guest_tx_emit(vm, qi, pkt) {
                 Ok(k) => kick |= k,
                 Err(()) => {
-                    self.block_on_tx_full(vm);
+                    self.block_on_tx_full(vm, qi);
                     break;
                 }
             }
@@ -370,25 +378,32 @@ impl Machine {
             }
         }
         let tid = self.vms[vmi].vcpu_tids[idx as usize];
-        let (kind, dur) = if vector == self.vms[vmi].rx_vector {
-            // NAPI: mask further RX interrupts, poll a batch.
-            self.vms[vmi].rx.driver_disable_interrupts();
-            let batch = (self.vms[vmi].rx.used_pending() as u32).min(self.p.napi_weight);
-            let per_pkt = self.guest_rx_pkt_cost(vm);
-            (
-                IrqKind::Rx { vector, batch },
-                self.p.guest_irq_entry + per_pkt * batch as u64,
-            )
-        } else if vector == self.vms[vmi].tx_vector {
-            (
-                IrqKind::TxClean,
+        if self.vms[vmi].vector_pair(vector).is_some() {
+            // Steering ledger: which vCPU ended up handling each device
+            // interrupt (observational; timer vectors excluded).
+            self.vms[vmi].device_irqs_per_vcpu[idx as usize] += 1;
+        }
+        let (kind, dur) = match self.vms[vmi].vector_pair(vector) {
+            Some((qi, false)) => {
+                // NAPI: mask further RX interrupts on this pair, poll a
+                // batch.
+                self.vms[vmi].pairs[qi].rx.driver_disable_interrupts();
+                let batch =
+                    (self.vms[vmi].pairs[qi].rx.used_pending() as u32).min(self.p.napi_weight);
+                let per_pkt = self.guest_rx_pkt_cost(vm, qi);
+                (
+                    IrqKind::Rx { vector, batch },
+                    self.p.guest_irq_entry + per_pkt * batch as u64,
+                )
+            }
+            Some((_, true)) => (
+                IrqKind::TxClean { vector },
                 self.p.guest_irq_entry + self.p.guest_txclean,
-            )
-        } else {
-            (
+            ),
+            None => (
                 IrqKind::Timer,
                 self.p.guest_irq_entry + self.p.guest_timer_work,
-            )
+            ),
         };
         self.start_segment(tid, SegKind::Irq(kind), dur);
     }
@@ -397,17 +412,23 @@ impl Machine {
         let vmi = vm as usize;
         match kind {
             IrqKind::Rx { vector, batch } => {
+                let qi = match self.vms[vmi].vector_pair(vector) {
+                    Some((qi, _)) => qi,
+                    None => 0,
+                };
                 // Consume the polled batch: reclaim buffers, refill the
                 // ring, apply per-packet protocol effects.
                 for _ in 0..batch {
-                    let Some(pkt) = self.vms[vmi].rx.driver_take_used() else {
+                    let Some(pkt) = self.vms[vmi].pairs[qi].rx.driver_take_used() else {
                         break;
                     };
                     // Refill with a fresh buffer.
                     let placeholder = self.pf.make(FlowId(vm), PacketKind::Data, 0, self.now);
-                    if let Ok(KickDecision::Kick) = self.vms[vmi].rx.driver_add(placeholder) {
+                    if let Ok(KickDecision::Kick) =
+                        self.vms[vmi].pairs[qi].rx.driver_add(placeholder)
+                    {
                         // RX refill kick (only armed when vhost starved).
-                        let h = self.vms[vmi].rx_h;
+                        let h = self.vms[vmi].pairs[qi].rx_h;
                         let pk = &mut self.vms[vmi].vctx[idx as usize].pending_kicks;
                         if !pk.contains(&h) {
                             pk.push(h);
@@ -417,11 +438,11 @@ impl Machine {
                 }
                 // More packets arrived during the poll: another batch
                 // before re-enabling interrupts (the NAPI loop).
-                let remaining = self.vms[vmi].rx.used_pending() as u32;
+                let remaining = self.vms[vmi].pairs[qi].rx.used_pending() as u32;
                 if remaining > 0 {
                     let tid = self.vms[vmi].vcpu_tids[idx as usize];
                     let batch = remaining.min(self.p.napi_weight);
-                    let per_pkt = self.guest_rx_pkt_cost(vm);
+                    let per_pkt = self.guest_rx_pkt_cost(vm, qi);
                     self.start_segment(
                         tid,
                         SegKind::Irq(IrqKind::Rx { vector, batch }),
@@ -432,11 +453,12 @@ impl Machine {
                 // NAPI complete: re-arm RX interrupts. A completion that
                 // raced in during this final pass means the interrupt edge
                 // was suppressed: re-poll instead of sleeping on it.
-                if self.vms[vmi].rx.driver_enable_interrupts() {
-                    self.vms[vmi].rx.driver_disable_interrupts();
+                if self.vms[vmi].pairs[qi].rx.driver_enable_interrupts() {
+                    self.vms[vmi].pairs[qi].rx.driver_disable_interrupts();
                     let tid = self.vms[vmi].vcpu_tids[idx as usize];
-                    let batch = (self.vms[vmi].rx.used_pending() as u32).min(self.p.napi_weight);
-                    let per_pkt = self.guest_rx_pkt_cost(vm);
+                    let batch =
+                        (self.vms[vmi].pairs[qi].rx.used_pending() as u32).min(self.p.napi_weight);
+                    let per_pkt = self.guest_rx_pkt_cost(vm, qi);
                     self.start_segment(
                         tid,
                         SegKind::Irq(IrqKind::Rx { vector, batch }),
@@ -446,10 +468,14 @@ impl Machine {
                 }
                 self.eoi_sequence(vm, idx);
             }
-            IrqKind::TxClean => {
-                while self.vms[vmi].tx.driver_take_used().is_some() {}
-                self.vms[vmi].tx.driver_disable_interrupts();
-                self.vms[vmi].blocked_tx_full = false;
+            IrqKind::TxClean { vector } => {
+                let qi = match self.vms[vmi].vector_pair(vector) {
+                    Some((qi, _)) => qi,
+                    None => 0,
+                };
+                while self.vms[vmi].pairs[qi].tx.driver_take_used().is_some() {}
+                self.vms[vmi].pairs[qi].tx.driver_disable_interrupts();
+                self.vms[vmi].pairs[qi].blocked_tx_full = false;
                 self.guest_app_wakeup(vm);
                 self.eoi_sequence(vm, idx);
             }
@@ -597,14 +623,15 @@ impl Machine {
         }
     }
 
-    /// Enqueue a TX packet from IRQ context; a required kick is deferred
-    /// until after EOI.
+    /// Enqueue a TX packet from IRQ context on the vCPU's own pair; a
+    /// required kick is deferred until after EOI.
     fn enqueue_tx_in_irq(&mut self, vm: u32, idx: u32, pkt: Packet) {
         let vmi = vm as usize;
-        while self.vms[vmi].tx.driver_take_used().is_some() {}
-        match self.guest_tx_emit(vm, pkt) {
+        let qi = self.vms[vmi].tx_pair_for_vcpu(idx);
+        while self.vms[vmi].pairs[qi].tx.driver_take_used().is_some() {}
+        match self.guest_tx_emit(vm, qi, pkt) {
             Ok(true) => {
-                let h = self.vms[vmi].tx_h;
+                let h = self.vms[vmi].pairs[qi].tx_h;
                 let pk = &mut self.vms[vmi].vctx[idx as usize].pending_kicks;
                 if !pk.contains(&h) {
                     pk.push(h);
@@ -644,8 +671,10 @@ impl Machine {
                 .pf
                 .make_meta(FlowId(0), PacketKind::Ack, 0, self.now, covered);
             let vmi = vm as usize;
-            if let Ok(true) = self.guest_tx_emit(vm, pkt) {
-                let h = self.vms[vmi].tx_h;
+            // Timer context has no owning vCPU: the delayed-ACK path uses
+            // pair 0 (the legacy queue).
+            if let Ok(true) = self.guest_tx_emit(vm, 0, pkt) {
+                let h = self.vms[vmi].pairs[0].tx_h;
                 self.kick_vhost(vm, h);
             }
         }

@@ -1,11 +1,14 @@
-//! Host-side execution: the vhost worker thread.
+//! Host-side execution: the vhost worker threads.
 //!
-//! The worker alternates between handler turns. The TX handler runs the
-//! hybrid (or stock) Algorithm-1 machine over the guest's TX queue; the RX
-//! handler moves ingress packets from the host backlog into the guest's RX
-//! ring. Each per-packet step is a timed segment, and the per-turn
-//! dispatch overhead is what makes small-quota polling self-sustaining
-//! (the guest refills during the dispatch gap).
+//! Each worker alternates between handler turns over the queue pairs
+//! sharded onto it. The TX handler runs the hybrid (or stock) Algorithm-1
+//! machine over the guest's TX queue; the RX handler moves ingress packets
+//! from the host backlog into the guest's RX ring. Each per-packet step is
+//! a timed segment, and the per-turn dispatch overhead is what makes
+//! small-quota polling self-sustaining (the guest refills during the
+//! dispatch gap). In passthrough mode a queue owns its worker outright and
+//! the shared dispatch hop is elided entirely: the turn begins the moment
+//! the worker picks the handler up.
 
 use es2_core::PollDecision;
 use es2_net::{FaultedArrival, Packet};
@@ -15,22 +18,31 @@ use es2_virtio::HandlerId;
 use crate::machine::{Body, Ev, Machine, SegKind};
 
 impl Machine {
-    /// The vhost thread finished a segment (or was just scheduled) and has
-    /// no active work: pop the next handler or sleep.
+    /// A vhost worker thread finished a segment (or was just scheduled)
+    /// and has no active work: pop the next handler or sleep.
     pub(crate) fn vhost_continue(&mut self, tid: ThreadId) {
-        let Body::Vhost { vm } = self.threads[tid.idx()].body else {
+        let Body::Vhost { vm, w } = self.threads[tid.idx()].body else {
             unreachable!("vhost_continue on a vCPU thread");
         };
         let vmi = vm as usize;
-        if self.spans.is_some() && self.vms[vmi].cur_handler.is_some() {
-            let w = self.window_open;
+        let wi = w as usize;
+        if self.spans.is_some() && self.vms[vmi].cur_handler[wi].is_some() {
+            let slot = self.turn_slot(vm, w);
+            let win = self.window_open;
             if let Some(tr) = self.spans.as_deref_mut() {
-                tr.on_turn_end(vm, self.now.as_nanos(), w);
+                tr.on_turn_end(vm, slot, self.now.as_nanos(), win);
             }
         }
-        self.vms[vmi].cur_handler = None;
-        match self.vms[vmi].worker.next_work() {
+        self.vms[vmi].cur_handler[wi] = None;
+        match self.vms[vmi].worker.next_work(wi) {
             Some(h) => {
+                if self.vms[vmi].worker.is_passthrough() {
+                    // Queue passthrough: this worker serves exactly one
+                    // pair, so there is no handler mux to pay for — skip
+                    // the dispatch segment and begin the turn at once.
+                    self.vhost_begin_turn(vm, w, h);
+                    return;
+                }
                 // An injected worker stall lengthens the dispatch segment:
                 // the thread holds the handler but makes no progress (a
                 // host-side hiccup — reclaim, IRQ storm, cgroup throttle).
@@ -47,32 +59,35 @@ impl Machine {
         }
     }
 
-    /// Dispatch overhead done: begin the handler's turn.
-    pub(crate) fn vhost_begin_turn(&mut self, vm: u32, h: HandlerId) {
+    /// Dispatch overhead done: begin the handler's turn on worker `w`.
+    pub(crate) fn vhost_begin_turn(&mut self, vm: u32, w: u32, h: HandlerId) {
         let vmi = vm as usize;
         if self.spans.is_some() {
             // Consume the correlation ID riding with the pending kick (if
             // any): the signal→pickup stage of the request span ends here.
             let corr = self.vms[vmi].worker.take_kick_corr(h);
-            let w = self.window_open;
+            let slot = self.turn_slot(vm, w);
+            let win = self.window_open;
             if let Some(tr) = self.spans.as_deref_mut() {
-                tr.on_turn_begin(vm, corr, self.now.as_nanos(), w);
+                tr.on_turn_begin(vm, slot, corr, self.now.as_nanos(), win);
             }
         }
-        self.vms[vmi].cur_handler = Some(h);
-        let is_tx = h == self.vms[vmi].tx_h;
+        self.vms[vmi].cur_handler[w as usize] = Some(h);
+        let qi = self.vms[vmi].pair_of(h);
+        let is_tx = h.idx() % 2 == 0;
         // Guest trust boundary: validate any ring state the guest claims
         // before the backend touches this queue. A violation quarantines
         // the queue (the `DEVICE_NEEDS_RESET` analog) instead of
-        // panicking; every other VM's queues keep full service.
+        // panicking; every other queue — this VM's included — keeps full
+        // service.
         let verdict = {
-            let vmst = &mut self.vms[vmi];
-            let q = if is_tx { &mut vmst.tx } else { &mut vmst.rx };
+            let pair = &mut self.vms[vmi].pairs[qi];
+            let q = if is_tx { &mut pair.tx } else { &mut pair.rx };
             q.device_validate()
         };
         if let Err(err) = verdict {
             self.quarantine_queue(vm, h, err);
-            let tid = self.vms[vmi].vhost_tid;
+            let tid = self.vms[vmi].vhost_tids[w as usize];
             self.vhost_continue(tid);
             return;
         }
@@ -81,31 +96,34 @@ impl Machine {
             // is scheduled (the clean event stream stays identical) — the
             // window index is recomputed at each turn start.
             if let Some(bp) = self.p.backpressure {
-                let w = self.now.as_nanos() / bp.budget_window.as_nanos().max(1);
-                if w != self.vms[vmi].budget_window_idx {
-                    self.vms[vmi].budget_window_idx = w;
-                    self.vms[vmi].tx_handler.replenish_budget();
+                let win = self.now.as_nanos() / bp.budget_window.as_nanos().max(1);
+                if win != self.vms[vmi].pairs[qi].budget_window_idx {
+                    self.vms[vmi].pairs[qi].budget_window_idx = win;
+                    self.vms[vmi].pairs[qi].tx_handler.replenish_budget();
                 }
             }
-            let vmst = &mut self.vms[vmi];
-            vmst.tx_handler.begin_turn(&mut vmst.tx);
-            self.vhost_tx_step(vm);
+            let pair = &mut self.vms[vmi].pairs[qi];
+            let (hdl, txq) = (&mut pair.tx_handler, &mut pair.tx);
+            hdl.begin_turn(txq);
+            self.vhost_tx_step(vm, w, qi);
         } else {
-            self.vms[vmi].rx_turn = 0;
-            self.vhost_rx_step(vm);
+            self.vms[vmi].pairs[qi].rx_turn = 0;
+            self.vhost_rx_step(vm, w, qi);
         }
     }
 
     /// Quarantine one queue of `vm` after a ring-validation violation:
     /// drain and break the queue, drop the handler's pending work, and
     /// schedule the guest-side reset handshake. Service for every other
-    /// queue (and every other VM) continues untouched.
+    /// queue (the same VM's siblings and every other VM) continues
+    /// untouched.
     fn quarantine_queue(&mut self, vm: u32, h: HandlerId, err: es2_virtio::RingError) {
         let vmi = vm as usize;
-        let is_tx = h == self.vms[vmi].tx_h;
+        let qi = self.vms[vmi].pair_of(h);
+        let is_tx = h.idx() % 2 == 0;
         let dropped = {
-            let vmst = &mut self.vms[vmi];
-            let q = if is_tx { &mut vmst.tx } else { &mut vmst.rx };
+            let pair = &mut self.vms[vmi].pairs[qi];
+            let q = if is_tx { &mut pair.tx } else { &mut pair.rx };
             q.quarantine()
         };
         self.vms[vmi].bp.quarantines += 1;
@@ -126,13 +144,13 @@ impl Machine {
         );
     }
 
-    /// One step of the TX handler's polling loop (Algorithm 1 lines
+    /// One step of a TX handler's polling loop (Algorithm 1 lines
     /// 12–19, with time charged per request).
-    fn vhost_tx_step(&mut self, vm: u32) {
+    fn vhost_tx_step(&mut self, vm: u32, w: u32, qi: usize) {
         let vmi = vm as usize;
-        let tid = self.vms[vmi].vhost_tid;
-        let vmst = &mut self.vms[vmi];
-        match vmst.tx_handler.poll_next(&mut vmst.tx) {
+        let tid = self.vms[vmi].vhost_tids[w as usize];
+        let pair = &mut self.vms[vmi].pairs[qi];
+        match pair.tx_handler.poll_next(&mut pair.tx) {
             PollDecision::Process(pkt) => {
                 let cost = self.p.vhost_tx_cost(pkt.bytes);
                 self.start_segment(tid, SegKind::VhostTxPkt { pkt }, cost);
@@ -142,19 +160,19 @@ impl Machine {
                 // switching cooldown (Algorithm 1 line 16 "waiting to be
                 // scheduled") and re-enters the work list; the worker
                 // meanwhile serves other handlers or sleeps.
-                let h = vmst.tx_h;
+                let h = pair.tx_h;
                 let at = self.now + self.p.vhost_requeue_gap;
                 self.q
                     .push(at, crate::machine::Ev::HandlerRequeue { vm, h });
                 self.vhost_continue(tid);
             }
             PollDecision::BudgetExhausted => {
-                // The VM's per-window service budget is spent: its
-                // remaining queue work waits for the next window. Only
-                // this VM is deferred — the worker immediately serves
+                // The queue's per-window service budget is spent: its
+                // remaining work waits for the next window. Only this
+                // queue is deferred — the worker immediately serves
                 // other handlers or sleeps.
-                vmst.bp.budget_deferrals += 1;
-                let h = vmst.tx_h;
+                let h = pair.tx_h;
+                self.vms[vmi].bp.budget_deferrals += 1;
                 let wns = self
                     .p
                     .backpressure
@@ -176,15 +194,17 @@ impl Machine {
         }
     }
 
-    /// A TX packet finished host processing: hand it to the wire and
-    /// return its descriptor.
-    pub(crate) fn complete_vhost_tx(&mut self, vm: u32, pkt: Packet) {
+    /// A TX packet finished host processing on worker `w`: hand it to the
+    /// wire and return its descriptor.
+    pub(crate) fn complete_vhost_tx(&mut self, vm: u32, w: u32, pkt: Packet) {
         let vmi = vm as usize;
+        let h = self.vms[vmi].cur_handler[w as usize].expect("TX completion without a turn");
+        let qi = self.vms[vmi].pair_of(h);
         // Return the descriptor; raise a TX-completion interrupt only if
         // the guest armed it (ring-full backpressure).
-        let interrupt = self.vms[vmi].tx.device_push_used(pkt);
+        let interrupt = self.vms[vmi].pairs[qi].tx.device_push_used(pkt);
         if interrupt {
-            let vector = self.vms[vmi].tx_vector;
+            let vector = self.vms[vmi].pairs[qi].tx_vector;
             self.deliver_device_msi(vm, vector);
         }
         let fault = self.faults.on_packet();
@@ -196,32 +216,33 @@ impl Machine {
                 self.q.push(second, Ev::ArriveAtExt { vm, pkt });
             }
         }
-        self.vhost_tx_step(vm);
+        self.vhost_tx_step(vm, w, qi);
     }
 
-    /// One step of the RX handler: move a backlog packet into the guest
+    /// One step of an RX handler: move a backlog packet into the guest
     /// RX ring.
-    fn vhost_rx_step(&mut self, vm: u32) {
+    fn vhost_rx_step(&mut self, vm: u32, w: u32, qi: usize) {
         let vmi = vm as usize;
-        let tid = self.vms[vmi].vhost_tid;
-        if self.vms[vmi].rx_turn >= self.p.vhost_rx_burst {
+        let tid = self.vms[vmi].vhost_tids[w as usize];
+        if self.vms[vmi].pairs[qi].rx_turn >= self.p.vhost_rx_burst {
             // Batch quota: requeue immediately (stock vhost behaviour —
-            // no ES2 cooldown on the rx batching path).
-            let h = self.vms[vmi].rx_h;
+            // no ES2 cooldown on the rx batching path). The handler goes
+            // back to its own (assigned) worker.
+            let h = self.vms[vmi].pairs[qi].rx_h;
             self.vms[vmi].worker.queue_work(h);
             self.vhost_continue(tid);
             return;
         }
-        if self.vms[vmi].backlog.is_empty() {
+        if self.vms[vmi].pairs[qi].backlog.is_empty() {
             self.vhost_continue(tid);
             return;
         }
-        if self.vms[vmi].rx.avail_pending() == 0 {
+        if self.vms[vmi].pairs[qi].rx.avail_pending() == 0 {
             // Out of guest buffers: arm the refill notification and park.
             // The guest's next refill kick requeues this handler.
-            if self.vms[vmi].rx.device_enable_notify() {
+            if self.vms[vmi].pairs[qi].rx.device_enable_notify() {
                 // Race: buffers appeared; keep going.
-                self.vms[vmi].rx.device_disable_notify();
+                self.vms[vmi].pairs[qi].rx.device_disable_notify();
             } else {
                 self.vhost_continue(tid);
                 return;
@@ -230,11 +251,11 @@ impl Machine {
         // Graceful refusal instead of panicking on "impossible" states: a
         // quarantined queue returns no buffers even when `avail_pending`
         // said otherwise a moment ago, and the turn simply ends.
-        let Some(_buffer) = self.vms[vmi].rx.device_pop() else {
+        let Some(_buffer) = self.vms[vmi].pairs[qi].rx.device_pop() else {
             self.vhost_continue(tid);
             return;
         };
-        let Some(pkt) = self.vms[vmi].backlog.pop() else {
+        let Some(pkt) = self.vms[vmi].pairs[qi].backlog.pop() else {
             self.vhost_continue(tid);
             return;
         };
@@ -242,38 +263,42 @@ impl Machine {
         self.start_segment(tid, SegKind::VhostRxPkt { pkt }, cost);
     }
 
-    /// An RX packet was copied into the guest: publish it and maybe
-    /// interrupt.
-    pub(crate) fn complete_vhost_rx(&mut self, vm: u32, pkt: Packet) {
+    /// An RX packet was copied into the guest by worker `w`: publish it
+    /// and maybe interrupt.
+    pub(crate) fn complete_vhost_rx(&mut self, vm: u32, w: u32, pkt: Packet) {
         let vmi = vm as usize;
-        self.vms[vmi].rx_turn += 1;
-        let interrupt = self.vms[vmi].rx.device_push_used(pkt);
+        let h = self.vms[vmi].cur_handler[w as usize].expect("RX completion without a turn");
+        let qi = self.vms[vmi].pair_of(h);
+        self.vms[vmi].pairs[qi].rx_turn += 1;
+        let interrupt = self.vms[vmi].pairs[qi].rx.device_push_used(pkt);
         if interrupt {
-            let vector = self.vms[vmi].rx_vector;
+            let vector = self.vms[vmi].pairs[qi].rx_vector;
             self.deliver_device_msi(vm, vector);
         }
-        self.vhost_rx_step(vm);
+        self.vhost_rx_step(vm, w, qi);
     }
 
     /// A packet arrived at the host NIC for `vm`.
     ///
-    /// Paravirtual: backlog it and kick the vhost RX handler. Assigned VF:
-    /// the device DMAs straight into the guest's RX ring and raises its
-    /// interrupt — through the host ISR (legacy) or posted directly
-    /// (VT-d PI), per §VII.
+    /// Paravirtual: RSS-spread it across the device's RX queues, backlog
+    /// it and kick that queue's vhost RX handler. Assigned VF: the device
+    /// DMAs straight into the guest's RX ring and raises its interrupt —
+    /// through the host ISR (legacy) or posted directly (VT-d PI), per
+    /// §VII.
     pub(crate) fn on_arrive_host(&mut self, vm: u32, pkt: Packet) {
         let vmi = vm as usize;
         if self.p.device == crate::params::DeviceKind::AssignedVf {
-            if self.vms[vmi].rx.device_pop().is_none() {
+            // The VF model stays single-queue: pair 0 is the VF ring.
+            if self.vms[vmi].pairs[0].rx.device_pop().is_none() {
                 // VF RX ring out of buffers: hardware drop.
                 self.vms[vmi].vf_drops += 1;
                 return;
             }
-            let interrupt = self.vms[vmi].rx.device_push_used(pkt);
+            let interrupt = self.vms[vmi].pairs[0].rx.device_push_used(pkt);
             if interrupt {
                 if self.cfg.use_pi && !self.vms[vmi].pi_failed {
                     // VT-d PI: posted without hypervisor involvement.
-                    let vector = self.vms[vmi].rx_vector;
+                    let vector = self.vms[vmi].pairs[0].rx_vector;
                     self.deliver_device_msi(vm, vector);
                 } else {
                     // Legacy assignment: the host fields the physical IRQ
@@ -284,10 +309,12 @@ impl Machine {
             }
             return;
         }
-        if self.vms[vmi].backlog.push(pkt) {
-            let h = self.vms[vmi].rx_h;
-            self.vms[vmi].worker.queue_work(h);
-            let tid = self.vms[vmi].vhost_tid;
+        let nq = self.vms[vmi].pairs.len() as u32;
+        let qi = es2_net::rss_queue(pkt.flow.0, pkt.id, nq) as usize;
+        if self.vms[vmi].pairs[qi].backlog.push(pkt) {
+            let h = self.vms[vmi].pairs[qi].rx_h;
+            let (w, _) = self.vms[vmi].worker.queue_work(h);
+            let tid = self.vms[vmi].vhost_tids[w];
             self.wake_thread(tid);
         }
         // else: tail-dropped (counted by the NicQueue) — where UDP receive

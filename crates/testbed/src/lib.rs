@@ -50,6 +50,7 @@ pub use lanes::ShardedMachine;
 pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology, EV_KIND_NAMES};
 pub use migrate::{MigCosts, MigLedger};
+pub use es2_virtio::ShardPolicy;
 pub use params::{BackpressureParams, Params};
 pub use results::RunResult;
 pub use workload::WorkloadSpec;

@@ -53,46 +53,53 @@ pub fn check(m: &Machine) -> LivenessReport {
         // Descriptor conservation: every buffer the driver added is either
         // still avail, in the device, or went through used and back. An
         // injected fault may delay a buffer but can never mint or leak one.
-        for (name, q) in [("tx", &vm.tx), ("rx", &vm.rx)] {
-            // A queue that is (or ever was) quarantined surrenders its
-            // conservation ledger by design: quarantine discards exposed
-            // buffers, the guest reset zeroes the counters, and a
-            // completion in flight across the reset lands unmatched. What
-            // must still hold: broken implies the reset request is
-            // surfaced to the guest (the DEVICE_NEEDS_RESET analog).
-            if q.is_broken() && !q.needs_reset() {
-                rep.fail(format!("vm{vmi} {name}: broken without needs_reset"));
-            }
-            if q.quarantine_count() > 0 {
-                continue;
-            }
-            let added = q.added_total();
-            let popped = q.popped_total();
-            let completed = q.completed_total();
-            let reclaimed = q.reclaimed_total();
-            if added != popped + q.avail_pending() as u64 {
-                rep.fail(format!(
-                    "vm{vmi} {name}: added {added} != popped {popped} + avail {}",
-                    q.avail_pending()
-                ));
-            }
-            if completed != reclaimed + q.used_pending() as u64 {
-                rep.fail(format!(
-                    "vm{vmi} {name}: completed {completed} != reclaimed {reclaimed} + used {}",
-                    q.used_pending()
-                ));
-            }
-            if popped < completed {
-                rep.fail(format!(
-                    "vm{vmi} {name}: completed {completed} exceeds popped {popped}"
-                ));
-            }
-            if popped - completed > q.config().size as u64 {
-                rep.fail(format!(
-                    "vm{vmi} {name}: {} buffers stuck in-device (ring size {})",
-                    popped - completed,
-                    q.config().size
-                ));
+        for (qi, pair) in vm.pairs.iter().enumerate() {
+            let (tx_name, rx_name) = if qi == 0 {
+                ("tx".to_string(), "rx".to_string())
+            } else {
+                (format!("tx{qi}"), format!("rx{qi}"))
+            };
+            for (name, q) in [(tx_name, &pair.tx), (rx_name, &pair.rx)] {
+                // A queue that is (or ever was) quarantined surrenders its
+                // conservation ledger by design: quarantine discards exposed
+                // buffers, the guest reset zeroes the counters, and a
+                // completion in flight across the reset lands unmatched. What
+                // must still hold: broken implies the reset request is
+                // surfaced to the guest (the DEVICE_NEEDS_RESET analog).
+                if q.is_broken() && !q.needs_reset() {
+                    rep.fail(format!("vm{vmi} {name}: broken without needs_reset"));
+                }
+                if q.quarantine_count() > 0 {
+                    continue;
+                }
+                let added = q.added_total();
+                let popped = q.popped_total();
+                let completed = q.completed_total();
+                let reclaimed = q.reclaimed_total();
+                if added != popped + q.avail_pending() as u64 {
+                    rep.fail(format!(
+                        "vm{vmi} {name}: added {added} != popped {popped} + avail {}",
+                        q.avail_pending()
+                    ));
+                }
+                if completed != reclaimed + q.used_pending() as u64 {
+                    rep.fail(format!(
+                        "vm{vmi} {name}: completed {completed} != reclaimed {reclaimed} + used {}",
+                        q.used_pending()
+                    ));
+                }
+                if popped < completed {
+                    rep.fail(format!(
+                        "vm{vmi} {name}: completed {completed} exceeds popped {popped}"
+                    ));
+                }
+                if popped - completed > q.config().size as u64 {
+                    rep.fail(format!(
+                        "vm{vmi} {name}: {} buffers stuck in-device (ring size {})",
+                        popped - completed,
+                        q.config().size
+                    ));
+                }
             }
         }
 
@@ -130,12 +137,16 @@ pub fn check(m: &Machine) -> LivenessReport {
         // Forward progress: if the driver ever added TX buffers, the device
         // must have completed at least one — a dropped kick with a working
         // watchdog stalls a queue temporarily, never terminally.
-        if vm.tx.quarantine_count() == 0 && vm.tx.added_total() > 0 && vm.tx.completed_total() == 0
-        {
-            rep.fail(format!(
-                "vm{vmi} tx: {} buffers added, none ever completed",
-                vm.tx.added_total()
-            ));
+        for (qi, pair) in vm.pairs.iter().enumerate() {
+            if pair.tx.quarantine_count() == 0
+                && pair.tx.added_total() > 0
+                && pair.tx.completed_total() == 0
+            {
+                rep.fail(format!(
+                    "vm{vmi} tx{qi}: {} buffers added, none ever completed",
+                    pair.tx.added_total()
+                ));
+            }
         }
     }
 

@@ -28,7 +28,7 @@ use es2_sim::{
     DeliveryFault, EventQueue, FaultInjector, FaultPlan, GenToken, RingCorruptionKind, SimDuration,
     SimRng, SimTime,
 };
-use es2_virtio::{HandlerId, VhostWorker, Virtqueue, VirtqueueConfig};
+use es2_virtio::{HandlerId, QueueId, VhostPool, Virtqueue, VirtqueueConfig};
 
 use crate::params::Params;
 use crate::results::RunResult;
@@ -73,8 +73,8 @@ impl Topology {
 pub(crate) enum Body {
     /// A vCPU thread.
     Vcpu { vm: u32, idx: u32 },
-    /// A vhost worker thread.
-    Vhost { vm: u32 },
+    /// vhost worker `w` of the VM's backend pool.
+    Vhost { vm: u32, w: u32 },
 }
 
 /// A span of typed work with its remaining duration.
@@ -131,8 +131,8 @@ pub(crate) enum AppStep {
 pub(crate) enum IrqKind {
     /// NAPI receive poll of `batch` packets.
     Rx { vector: Vector, batch: u32 },
-    /// TX-completion cleanup.
-    TxClean,
+    /// TX-completion cleanup for the queue raising `vector`.
+    TxClean { vector: Vector },
     /// Guest local-timer handler.
     Timer,
 }
@@ -179,15 +179,16 @@ pub(crate) struct VcpuCtx {
     pub(crate) pending_spurious_eois: u32,
 }
 
-pub(crate) struct VmState {
-    pub(crate) vcpus: Vec<Vcpu>,
-    pub(crate) vcpu_tids: Vec<ThreadId>,
-    pub(crate) vctx: Vec<VcpuCtx>,
-    pub(crate) vhost_tid: ThreadId,
-    pub(crate) worker: VhostWorker,
+/// One TX/RX virtqueue pair of a (possibly multi-queue) virtio device,
+/// with everything that is per-queue rather than per-VM: its handler
+/// identities in the vhost pool, the hybrid TX handler state, the host
+/// backlog feeding its RX side, its MSI vectors and owning vCPU, and
+/// the per-queue backpressure machinery (kick bucket, TX service-budget
+/// window). Pair `q` registers handlers `2q` (TX) and `2q+1` (RX), and
+/// raises vectors `0x41 + 2q` / `0x42 + 2q` steered at `affinity_vcpu`.
+pub(crate) struct QueuePair {
     pub(crate) tx_h: HandlerId,
     pub(crate) rx_h: HandlerId,
-    pub(crate) cur_handler: Option<HandlerId>,
     pub(crate) tx: Virtqueue<Packet>,
     pub(crate) rx: Virtqueue<Packet>,
     pub(crate) tx_handler: HybridHandler,
@@ -197,6 +198,28 @@ pub(crate) struct VmState {
     pub(crate) rx_vector: Vector,
     pub(crate) affinity_vcpu: u32,
     pub(crate) blocked_tx_full: bool,
+    /// Per-queue kick admission throttle (`Some` iff `Params::backpressure`).
+    pub(crate) kick_bucket: Option<crate::backpressure::KickBucket>,
+    /// Per-half flag (0 = TX, 1 = RX): a coalesced [`Ev::ThrottledKick`]
+    /// wake is already scheduled.
+    pub(crate) throttle_armed: [bool; 2],
+    /// Last service-budget window the TX handler was replenished in.
+    pub(crate) budget_window_idx: u64,
+}
+
+pub(crate) struct VmState {
+    pub(crate) vcpus: Vec<Vcpu>,
+    pub(crate) vcpu_tids: Vec<ThreadId>,
+    pub(crate) vctx: Vec<VcpuCtx>,
+    /// One host thread per vhost worker, all time-sharing the VM's vhost
+    /// core (worker 0 first — the legacy single-worker thread).
+    pub(crate) vhost_tids: Vec<ThreadId>,
+    /// The VM's sharded vhost backend (1 worker = the legacy mux).
+    pub(crate) worker: VhostPool,
+    /// In-progress handler per worker (`None` when that worker is idle).
+    pub(crate) cur_handler: Vec<Option<HandlerId>>,
+    /// TX/RX virtqueue pairs, one per queue (`Params::queues_per_vm`).
+    pub(crate) pairs: Vec<QueuePair>,
     /// Guest HLTs when idle (server workloads) instead of running the
     /// burn script.
     pub(crate) guest_idles: bool,
@@ -226,16 +249,43 @@ pub(crate) struct VmState {
     pub(crate) guest_rtos: u64,
     /// Per-VM overload-control ledger (throttle/budget/quarantine events).
     pub(crate) bp: es2_metrics::BackpressureStats,
-    /// Per-VM kick admission throttle (`Some` iff `Params::backpressure`).
-    pub(crate) kick_bucket: Option<crate::backpressure::KickBucket>,
-    /// Per-handler flag: a coalesced [`Ev::ThrottledKick`] wake is already
-    /// scheduled (indexed by `HandlerId::idx`).
-    pub(crate) throttle_armed: [bool; 2],
-    /// Last service-budget window the TX handler was replenished in.
-    pub(crate) budget_window_idx: u64,
     /// Per-VM RX one-way latency histogram (the blast-radius p99 source;
     /// `rx_latency` keeps the streaming mean for existing reports).
     pub(crate) rx_hist: es2_metrics::Histogram,
+    /// Device interrupts (TX-clean + RX, not timers) handled per vCPU —
+    /// the per-queue MSI steering ledger. Observational only.
+    pub(crate) device_irqs_per_vcpu: Vec<u64>,
+}
+
+impl VmState {
+    /// The pair owning handler `h` (pair `q` registers `2q` / `2q+1`).
+    #[inline]
+    pub(crate) fn pair_of(&self, h: HandlerId) -> usize {
+        (h.idx() / 2).min(self.pairs.len() - 1)
+    }
+
+    /// `(pair index, is_tx)` for a device MSI vector, if it belongs to
+    /// one of this VM's queues.
+    #[inline]
+    pub(crate) fn vector_pair(&self, vector: Vector) -> Option<(usize, bool)> {
+        self.pairs
+            .iter()
+            .position(|p| p.tx_vector == vector)
+            .map(|q| (q, true))
+            .or_else(|| {
+                self.pairs
+                    .iter()
+                    .position(|p| p.rx_vector == vector)
+                    .map(|q| (q, false))
+            })
+    }
+
+    /// The TX/RX pair a vCPU's transmit path uses: vCPU `idx` owns pair
+    /// `idx % queues` (with one queue, everything stays on pair 0).
+    #[inline]
+    pub(crate) fn tx_pair_for_vcpu(&self, idx: u32) -> usize {
+        idx as usize % self.pairs.len()
+    }
 }
 
 /// Events of the discrete-event loop.
@@ -538,6 +588,12 @@ impl Machine {
             topo.vcpus_per_vm + topo.num_vms <= params.num_cores,
             "not enough cores for vCPUs + vhost workers"
         );
+        let num_pairs = params.queues_per_vm.max(1);
+        let num_workers = params.effective_vhost_workers();
+        assert!(
+            0x42 + 2 * (num_pairs as u64 - 1) < LOCAL_TIMER_VECTOR as u64,
+            "queues_per_vm exhausts the device vector range"
+        );
         let mut rng = SimRng::new(seed);
         // Per-purpose stream discipline (same idiom as the fault
         // injector): fork the tick-noise stream before any per-VM seed
@@ -570,68 +626,102 @@ impl Machine {
                 vcpus.push(Vcpu::new(VcpuId::new(vm, idx), path));
                 vctx.push(VcpuCtx::default());
             }
-            // vhost worker on the cores after the vCPU block.
+            // vhost workers on the cores after the vCPU block. All of a
+            // VM's workers time-share that VM's vhost core, exactly like
+            // the single worker they shard.
             let vhost_core = CoreId(topo.vcpus_per_vm + vm);
-            let vhost_tid = sched.add_thread(0, vhost_core);
-            threads.push(ThreadInfo {
-                body: Body::Vhost { vm },
-                seg: None,
-                seg_started: SimTime::ZERO,
-                gen: GenToken::new(),
-            });
+            let mut vhost_tids = Vec::with_capacity(num_workers);
+            for w in 0..num_workers as u32 {
+                let tid = sched.add_thread(0, vhost_core);
+                threads.push(ThreadInfo {
+                    body: Body::Vhost { vm, w },
+                    seg: None,
+                    seg_started: SimTime::ZERO,
+                    gen: GenToken::new(),
+                });
+                vhost_tids.push(tid);
+            }
 
-            let mut worker = VhostWorker::new();
-            let tx_h = worker.register_handler();
-            let rx_h = worker.register_handler();
+            let mut worker = VhostPool::new(num_workers, params.shard_policy);
             let vq_cfg = VirtqueueConfig {
                 size: params.ring_size,
                 event_idx: true,
             };
-            let mut tx = Virtqueue::new(vq_cfg);
-            let mut rx = Virtqueue::new(vq_cfg);
-            // Guest TX completions are reclaimed in the xmit path; TX
-            // interrupts armed only when the ring fills.
-            tx.driver_disable_interrupts();
-            // Guest pre-fills the whole RX ring with buffers; refill kicks
-            // stay unarmed unless vhost runs out of buffers.
+            // Guest pre-fills every RX ring with buffers; one factory per
+            // VM so buffer ids are contiguous across the device's queues.
             let mut pf_init = PacketFactory::new();
-            for _ in 0..params.ring_size {
-                let placeholder = pf_init.make(
-                    es2_net::FlowId(vm),
-                    es2_net::PacketKind::Data,
-                    0,
-                    SimTime::ZERO,
+            let mut pairs = Vec::with_capacity(num_pairs as usize);
+            for qi in 0..num_pairs {
+                // Pair q is owned by (and its MSIs steered at) vCPU q%N.
+                let owner = qi % topo.vcpus_per_vm;
+                let (tx_h, rx_h) = worker.register_pair(vm, qi, owner);
+                let mut tx = Virtqueue::with_id(
+                    vq_cfg,
+                    QueueId {
+                        vm,
+                        vq: (2 * qi) as u16,
+                    },
                 );
-                rx.driver_add(placeholder).expect("ring has room");
-            }
-            rx.device_disable_notify();
+                let mut rx = Virtqueue::with_id(
+                    vq_cfg,
+                    QueueId {
+                        vm,
+                        vq: (2 * qi + 1) as u16,
+                    },
+                );
+                // Guest TX completions are reclaimed in the xmit path; TX
+                // interrupts armed only when the ring fills.
+                tx.driver_disable_interrupts();
+                // Refill kicks stay unarmed unless vhost runs out of
+                // buffers.
+                for _ in 0..params.ring_size {
+                    let placeholder = pf_init.make(
+                        es2_net::FlowId(vm),
+                        es2_net::PacketKind::Data,
+                        0,
+                        SimTime::ZERO,
+                    );
+                    rx.driver_add(placeholder).expect("ring has room");
+                }
+                rx.device_disable_notify();
 
-            let mut tx_handler = match cfg.hybrid {
-                Some(h) => HybridHandler::new(h),
-                None => HybridHandler::stock(),
-            };
-            if let Some(bp) = params.backpressure {
-                tx_handler.set_service_budget(bp.service_budget);
+                let mut tx_handler = match cfg.hybrid {
+                    Some(h) => HybridHandler::new(h),
+                    None => HybridHandler::stock(),
+                };
+                if let Some(bp) = params.backpressure {
+                    tx_handler.set_service_budget(bp.service_budget);
+                }
+
+                pairs.push(QueuePair {
+                    tx_h,
+                    rx_h,
+                    tx,
+                    rx,
+                    tx_handler,
+                    rx_turn: 0,
+                    backlog: NicQueue::new(params.host_backlog),
+                    tx_vector: 0x41 + (2 * qi) as u8,
+                    rx_vector: 0x42 + (2 * qi) as u8,
+                    affinity_vcpu: owner,
+                    blocked_tx_full: false,
+                    kick_bucket: params
+                        .backpressure
+                        .as_ref()
+                        .map(crate::backpressure::KickBucket::new),
+                    throttle_armed: [false; 2],
+                    budget_window_idx: 0,
+                });
             }
 
             vms.push(VmState {
                 vcpus,
                 vcpu_tids,
                 vctx,
-                vhost_tid,
+                vhost_tids,
                 worker,
-                tx_h,
-                rx_h,
-                cur_handler: None,
-                tx,
-                rx,
-                tx_handler,
-                rx_turn: 0,
-                backlog: NicQueue::new(params.host_backlog),
-                tx_vector: 0x41,
-                rx_vector: 0x42,
-                affinity_vcpu: 0,
-                blocked_tx_full: false,
+                cur_handler: vec![None; num_workers],
+                pairs,
                 guest_idles: specs[vm as usize].guest_idles(),
                 wl: GuestWl::for_spec(&specs[vm as usize], params.tcp_window),
                 dropped_tx: 0,
@@ -645,13 +735,8 @@ impl Machine {
                 watchdog_reraises: 0,
                 guest_rtos: 0,
                 bp: es2_metrics::BackpressureStats::default(),
-                kick_bucket: params
-                    .backpressure
-                    .as_ref()
-                    .map(crate::backpressure::KickBucket::new),
-                throttle_armed: [false; 2],
-                budget_window_idx: 0,
                 rx_hist: es2_metrics::Histogram::new(),
+                device_irqs_per_vcpu: vec![0; topo.vcpus_per_vm as usize],
             });
         }
 
@@ -702,6 +787,7 @@ impl Machine {
             spans: if params.trace {
                 Some(Box::new(crate::spans::SpanTracker::new(
                     topo.num_vms as usize,
+                    num_workers,
                     params.trace_events as usize,
                 )))
             } else {
@@ -802,24 +888,43 @@ impl Machine {
         let mut s = String::new();
         let _ = writeln!(s, "now={:?} events_pending={}", self.now, self.q.len());
         for (i, vm) in self.vms.iter().enumerate() {
+            let p0 = &vm.pairs[0];
             let _ = writeln!(
                 s,
                 "vm{}: tx[avail={} used={} free={} notify_off={}] rx[avail={} used={} notify_off={} irq_off={}] backlog={} blocked_tx_full={} mode={:?} worker_pending={} dropped_tx={}",
                 i,
-                vm.tx.avail_pending(),
-                vm.tx.used_pending(),
-                vm.tx.num_free(),
-                vm.tx.notify_disabled(),
-                vm.rx.avail_pending(),
-                vm.rx.used_pending(),
-                vm.rx.notify_disabled(),
-                vm.rx.interrupts_disabled(),
-                vm.backlog.len(),
-                vm.blocked_tx_full,
-                vm.tx_handler.mode(),
-                vm.worker.pending(),
+                p0.tx.avail_pending(),
+                p0.tx.used_pending(),
+                p0.tx.num_free(),
+                p0.tx.notify_disabled(),
+                p0.rx.avail_pending(),
+                p0.rx.used_pending(),
+                p0.rx.notify_disabled(),
+                p0.rx.interrupts_disabled(),
+                p0.backlog.len(),
+                p0.blocked_tx_full,
+                p0.tx_handler.mode(),
+                vm.worker.pending_total(),
                 vm.dropped_tx,
             );
+            // Extra queue pairs (multi-queue devices only; a single-queue
+            // device prints exactly the legacy snapshot).
+            for (qi, p) in vm.pairs.iter().enumerate().skip(1) {
+                let _ = writeln!(
+                    s,
+                    "  pair{}: tx[avail={} used={} free={}] rx[avail={} used={}] backlog={} blocked_tx_full={} mode={:?} owner_vcpu={}",
+                    qi,
+                    p.tx.avail_pending(),
+                    p.tx.used_pending(),
+                    p.tx.num_free(),
+                    p.rx.avail_pending(),
+                    p.rx.used_pending(),
+                    p.backlog.len(),
+                    p.blocked_tx_full,
+                    p.tx_handler.mode(),
+                    p.affinity_vcpu,
+                );
+            }
             for (j, v) in vm.vcpus.iter().enumerate() {
                 let tid = vm.vcpu_tids[j];
                 let _ = writeln!(
@@ -834,13 +939,24 @@ impl Machine {
                     v.has_deliverable(),
                 );
             }
-            let vt = vm.vhost_tid;
-            let _ = writeln!(
-                s,
-                "  vhost: running={} seg={:?}",
-                self.sched.is_running(vt),
-                self.threads[vt.idx()].seg.as_ref().map(|x| x.kind)
-            );
+            for (w, &vt) in vm.vhost_tids.iter().enumerate() {
+                if w == 0 {
+                    let _ = writeln!(
+                        s,
+                        "  vhost: running={} seg={:?}",
+                        self.sched.is_running(vt),
+                        self.threads[vt.idx()].seg.as_ref().map(|x| x.kind)
+                    );
+                } else {
+                    let _ = writeln!(
+                        s,
+                        "  vhost{}: running={} seg={:?}",
+                        w,
+                        self.sched.is_running(vt),
+                        self.threads[vt.idx()].seg.as_ref().map(|x| x.kind)
+                    );
+                }
+            }
             if let Some(d) = self.wl_debug(i) {
                 let _ = writeln!(s, "  wl: {d}");
             }
@@ -1025,14 +1141,14 @@ impl Machine {
             Ev::AckFlush { vm } => self.on_ack_flush(vm),
             Ev::ExtTcpTimeout { vm } => self.on_ext_tcp_timeout(vm),
             Ev::VfIrq { vm } => {
-                let vector = self.vms[vm as usize].rx_vector;
+                let vector = self.vms[vm as usize].pairs[0].rx_vector;
                 self.deliver_device_msi(vm, vector);
             }
             Ev::HandlerRequeue { vm, h } => {
                 let vmi = vm as usize;
                 self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Requeue);
-                self.vms[vmi].worker.queue_work(h);
-                let tid = self.vms[vmi].vhost_tid;
+                let (w, _) = self.vms[vmi].worker.queue_work(h);
+                let tid = self.vms[vmi].vhost_tids[w];
                 self.wake_thread(tid);
             }
             Ev::DelayedKick { vm, h } => {
@@ -1040,8 +1156,8 @@ impl Machine {
                 self.tracer
                     .record(self.now, "delay-kick", vm as u64, h.0 as u64);
                 self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Delayed);
-                self.vms[vmi].worker.queue_work(h);
-                let tid = self.vms[vmi].vhost_tid;
+                let (w, _) = self.vms[vmi].worker.queue_work(h);
+                let tid = self.vms[vmi].vhost_tids[w];
                 self.wake_thread(tid);
             }
             Ev::DelayedMsi { vm, vector } => self.route_and_deliver_msi(vm, vector),
@@ -1049,7 +1165,9 @@ impl Machine {
                 // The coalesced wake for every kick deferred since it was
                 // scheduled. Re-enters admission: the bucket charges the
                 // kick at this (conforming) instant.
-                self.vms[vm as usize].throttle_armed[h.idx()] = false;
+                let vmi = vm as usize;
+                let q = self.vms[vmi].pair_of(h);
+                self.vms[vmi].pairs[q].throttle_armed[h.idx() % 2] = false;
                 self.tracer
                     .record(self.now, "throttled-kick", vm as u64, h.0 as u64);
                 self.kick_vhost(vm, h);
@@ -1219,6 +1337,14 @@ impl Machine {
         }
     }
 
+    /// Span-tracker turn slot for vhost worker `w` of `vm`: one slot per
+    /// (VM, worker), `vm * workers + w`. With a single worker this is
+    /// just `vm`, matching the legacy per-VM indexing.
+    #[inline]
+    pub(crate) fn turn_slot(&self, vm: u32, w: u32) -> usize {
+        vm as usize * self.vms[vm as usize].worker.num_workers() + w as usize
+    }
+
     /// Wake a thread; apply any resulting context switch and re-arm any
     /// periodic timers that parked while everything it feeds was idle.
     pub(crate) fn wake_thread(&mut self, tid: ThreadId) {
@@ -1354,17 +1480,18 @@ impl Machine {
     pub(crate) fn kick_vhost(&mut self, vm: u32, h: HandlerId) {
         self.tracer
             .record(self.now, "kick", vm as u64, h.0 as u64);
-        // Per-VM kick throttle (off by default): an over-rate kick is not
-        // lost — one coalesced wake is scheduled for the first conforming
-        // instant, and only this VM's queue waits for it.
-        if let Some(bucket) = self.vms[vm as usize].kick_bucket.as_mut() {
+        // Per-queue kick throttle (off by default): an over-rate kick is
+        // not lost — one coalesced wake is scheduled for the first
+        // conforming instant, and only this queue waits for it.
+        let qi = self.vms[vm as usize].pair_of(h);
+        if let Some(bucket) = self.vms[vm as usize].pairs[qi].kick_bucket.as_mut() {
             match bucket.admit(self.now.as_nanos()) {
                 crate::backpressure::Admission::Pass => {}
                 crate::backpressure::Admission::DeferUntil(at_ns) => {
                     let vmi = vm as usize;
                     self.vms[vmi].bp.throttled_kicks += 1;
-                    if !self.vms[vmi].throttle_armed[h.idx()] {
-                        self.vms[vmi].throttle_armed[h.idx()] = true;
+                    if !self.vms[vmi].pairs[qi].throttle_armed[h.idx() % 2] {
+                        self.vms[vmi].pairs[qi].throttle_armed[h.idx() % 2] = true;
                         self.q.push(
                             SimTime::ZERO + SimDuration::from_nanos(at_ns),
                             Ev::ThrottledKick { vm, h },
@@ -1378,8 +1505,8 @@ impl Machine {
             DeliveryFault::Deliver => {
                 let vmi = vm as usize;
                 self.trace_kick_signal(vm, h, crate::spans::KickOrigin::Kick);
-                self.vms[vmi].worker.queue_work(h);
-                let vhost_tid = self.vms[vmi].vhost_tid;
+                let (w, _) = self.vms[vmi].worker.queue_work(h);
+                let vhost_tid = self.vms[vmi].vhost_tids[w];
                 self.wake_thread(vhost_tid);
             }
             DeliveryFault::Drop => {}
@@ -1394,12 +1521,10 @@ impl Machine {
     /// backend's `device_validate` is what must catch it.
     fn publish_ring_corruption(&mut self, vm: u32, h: HandlerId, kind: RingCorruptionKind) {
         let vmi = vm as usize;
-        let is_tx = h == self.vms[vmi].tx_h;
-        let q = if is_tx {
-            &mut self.vms[vmi].tx
-        } else {
-            &mut self.vms[vmi].rx
-        };
+        let qi = self.vms[vmi].pair_of(h);
+        let is_tx = h.idx() % 2 == 0;
+        let pair = &mut self.vms[vmi].pairs[qi];
+        let q = if is_tx { &mut pair.tx } else { &mut pair.rx };
         let size = q.config().size;
         match kind {
             RingCorruptionKind::DescOutOfRange => q.guest_publish_desc_index(size),
@@ -1498,7 +1623,13 @@ impl Machine {
     pub(crate) fn route_and_deliver_msi_from(&mut self, vm: u32, vector: Vector, watchdog: bool) {
         self.tracer
             .record(self.now, "msi", vm as u64, vector as u64);
-        let affinity = self.vms[vm as usize].affinity_vcpu;
+        // Per-queue steering: the MSI's affinity hint is the vCPU that
+        // owns the queue raising this vector (per-VM hint == pair 0 in
+        // the single-queue device).
+        let affinity = match self.vms[vm as usize].vector_pair(vector) {
+            Some((qi, _)) => self.vms[vm as usize].pairs[qi].affinity_vcpu,
+            None => self.vms[vm as usize].pairs[0].affinity_vcpu,
+        };
         // Refill the reusable scratch buffers instead of allocating fresh
         // snapshot vectors per MSI — this path fires once per device
         // interrupt and dominated the allocator profile.
@@ -1709,14 +1840,14 @@ impl Machine {
                     self.vm_entry_and_dispatch(vm, idx);
                 }
             },
-            (Body::Vhost { vm }, SegKind::VhostDispatch { h }) => {
-                self.vhost_begin_turn(vm, h);
+            (Body::Vhost { vm, w }, SegKind::VhostDispatch { h }) => {
+                self.vhost_begin_turn(vm, w, h);
             }
-            (Body::Vhost { vm }, SegKind::VhostTxPkt { pkt }) => {
-                self.complete_vhost_tx(vm, pkt);
+            (Body::Vhost { vm, w }, SegKind::VhostTxPkt { pkt }) => {
+                self.complete_vhost_tx(vm, w, pkt);
             }
-            (Body::Vhost { vm }, SegKind::VhostRxPkt { pkt }) => {
-                self.complete_vhost_rx(vm, pkt);
+            (Body::Vhost { vm, w }, SegKind::VhostRxPkt { pkt }) => {
+                self.complete_vhost_rx(vm, w, pkt);
             }
             (body, kind) => unreachable!("segment {kind:?} on {body:?}"),
         }
@@ -1768,7 +1899,8 @@ impl Machine {
             if let Some(seg) = self.clear_seg(tid) {
                 self.vms[vm as usize].vctx[idx as usize].stack.push(seg);
             }
-            let h = self.vms[vm as usize].tx_h;
+            let qi = self.vms[vm as usize].tx_pair_for_vcpu(idx);
+            let h = self.vms[vm as usize].pairs[qi].tx_h;
             self.kick_vhost(vm, h);
             self.begin_exit(vm, idx, ExitReason::IoInstruction, AfterExit::Resume);
             return;
@@ -1825,52 +1957,55 @@ impl Machine {
     /// with watchdog provenance — the reliable path stale MSIs are
     /// retargeted over after a move.
     pub(crate) fn watchdog_scan_vm(&mut self, vm: u32) {
-        {
-            let vmi = vm as usize;
+        let vmi = vm as usize;
+        for qi in 0..self.vms[vmi].pairs.len() {
             // Lost TX kick: exposed buffers while the handler sits in
             // notification mode, yet nobody queued it and it is not
-            // mid-turn. (Polling mode recovers by itself via requeues.)
-            let tx_h = self.vms[vmi].tx_h;
-            let tx_stuck = !self.vms[vmi].tx.is_broken()
-                && self.vms[vmi].tx_handler.needs_rekick(&self.vms[vmi].tx)
+            // mid-turn on any worker. (Polling mode recovers by itself
+            // via requeues.)
+            let tx_h = self.vms[vmi].pairs[qi].tx_h;
+            let tx_stuck = !self.vms[vmi].pairs[qi].tx.is_broken()
+                && self.vms[vmi].pairs[qi]
+                    .tx_handler
+                    .needs_rekick(&self.vms[vmi].pairs[qi].tx)
                 && !self.vms[vmi].worker.is_queued(tx_h)
-                && self.vms[vmi].cur_handler != Some(tx_h);
+                && !self.vms[vmi].cur_handler.contains(&Some(tx_h));
             if tx_stuck {
                 self.vms[vmi].watchdog_rekicks += 1;
                 self.tracer
                     .record(self.now, "wd-rekick", vm as u64, tx_h.0 as u64);
                 self.trace_kick_signal(vm, tx_h, crate::spans::KickOrigin::Watchdog);
-                self.vms[vmi].worker.queue_work(tx_h);
-                let tid = self.vms[vmi].vhost_tid;
+                let (w, _) = self.vms[vmi].worker.queue_work(tx_h);
+                let tid = self.vms[vmi].vhost_tids[w];
                 self.wake_thread(tid);
             }
             // Lost RX refill kick: ingress backlog waiting, guest buffers
             // available, but the RX handler was never requeued.
-            let rx_h = self.vms[vmi].rx_h;
-            let rx_stuck = !self.vms[vmi].rx.is_broken()
-                && !self.vms[vmi].backlog.is_empty()
-                && self.vms[vmi].rx.avail_pending() > 0
+            let rx_h = self.vms[vmi].pairs[qi].rx_h;
+            let rx_stuck = !self.vms[vmi].pairs[qi].rx.is_broken()
+                && !self.vms[vmi].pairs[qi].backlog.is_empty()
+                && self.vms[vmi].pairs[qi].rx.avail_pending() > 0
                 && !self.vms[vmi].worker.is_queued(rx_h)
-                && self.vms[vmi].cur_handler != Some(rx_h);
+                && !self.vms[vmi].cur_handler.contains(&Some(rx_h));
             if rx_stuck {
                 self.vms[vmi].watchdog_rekicks += 1;
                 self.tracer
                     .record(self.now, "wd-rekick", vm as u64, rx_h.0 as u64);
                 self.trace_kick_signal(vm, rx_h, crate::spans::KickOrigin::Watchdog);
-                self.vms[vmi].worker.queue_work(rx_h);
-                let tid = self.vms[vmi].vhost_tid;
+                let (w, _) = self.vms[vmi].worker.queue_work(rx_h);
+                let tid = self.vms[vmi].vhost_tids[w];
                 self.wake_thread(tid);
             }
             // Lost RX interrupt: published packets with interrupts armed
             // and no handler running. Re-raising merely sets an IRR bit
             // that is already pending in the benign race, so a spurious
             // re-raise coalesces instead of double-delivering.
-            if !self.vms[vmi].rx.is_broken()
-                && self.vms[vmi].rx.used_pending() > 0
-                && !self.vms[vmi].rx.interrupts_disabled()
+            if !self.vms[vmi].pairs[qi].rx.is_broken()
+                && self.vms[vmi].pairs[qi].rx.used_pending() > 0
+                && !self.vms[vmi].pairs[qi].rx.interrupts_disabled()
             {
                 self.vms[vmi].watchdog_reraises += 1;
-                let vector = self.vms[vmi].rx_vector;
+                let vector = self.vms[vmi].pairs[qi].rx_vector;
                 self.tracer
                     .record(self.now, "wd-reraise", vm as u64, vector as u64);
                 self.route_and_deliver_msi_from(vm, vector, true);
@@ -1878,13 +2013,13 @@ impl Machine {
             // Lost TX-completion interrupt: the guest blocked on a full
             // ring, completions are back, interrupts are armed — but the
             // MSI vanished.
-            if !self.vms[vmi].tx.is_broken()
-                && self.vms[vmi].blocked_tx_full
-                && self.vms[vmi].tx.used_pending() > 0
-                && !self.vms[vmi].tx.interrupts_disabled()
+            if !self.vms[vmi].pairs[qi].tx.is_broken()
+                && self.vms[vmi].pairs[qi].blocked_tx_full
+                && self.vms[vmi].pairs[qi].tx.used_pending() > 0
+                && !self.vms[vmi].pairs[qi].tx.interrupts_disabled()
             {
                 self.vms[vmi].watchdog_reraises += 1;
-                let vector = self.vms[vmi].tx_vector;
+                let vector = self.vms[vmi].pairs[qi].tx_vector;
                 self.tracer
                     .record(self.now, "wd-reraise", vm as u64, vector as u64);
                 self.route_and_deliver_msi_from(vm, vector, true);
@@ -1913,11 +2048,12 @@ impl Machine {
     /// and any guest work blocked on the broken queue resumes.
     fn on_guest_queue_reset(&mut self, vm: u32, h: HandlerId) {
         let vmi = vm as usize;
-        let is_tx = h == self.vms[vmi].tx_h;
+        let qi = self.vms[vmi].pair_of(h);
+        let is_tx = h.idx() % 2 == 0;
         let reset = if is_tx {
-            self.vms[vmi].tx.guest_reset()
+            self.vms[vmi].pairs[qi].tx.guest_reset()
         } else {
-            self.vms[vmi].rx.guest_reset()
+            self.vms[vmi].pairs[qi].rx.guest_reset()
         };
         if !reset {
             return; // stale event: no reset outstanding
@@ -1929,8 +2065,8 @@ impl Machine {
             // Re-initialization mirrors construction: TX completions are
             // reclaimed in the xmit path, interrupts armed only when the
             // ring fills.
-            self.vms[vmi].tx.driver_disable_interrupts();
-            self.vms[vmi].blocked_tx_full = false;
+            self.vms[vmi].pairs[qi].tx.driver_disable_interrupts();
+            self.vms[vmi].pairs[qi].blocked_tx_full = false;
         } else {
             // The driver pre-fills the fresh RX ring with buffers and
             // leaves refill notifications unarmed.
@@ -1938,16 +2074,16 @@ impl Machine {
                 let placeholder =
                     self.pf
                         .make(es2_net::FlowId(vm), es2_net::PacketKind::Data, 0, self.now);
-                let _ = self.vms[vmi].rx.driver_add(placeholder);
+                let _ = self.vms[vmi].pairs[qi].rx.driver_add(placeholder);
             }
-            self.vms[vmi].rx.device_disable_notify();
+            self.vms[vmi].pairs[qi].rx.device_disable_notify();
         }
         self.vms[vmi].worker.release(h);
         // Ingress may have piled up behind a quarantined RX queue: put the
         // handler straight back to work on the fresh ring.
-        if !is_tx && !self.vms[vmi].backlog.is_empty() {
-            self.vms[vmi].worker.queue_work(h);
-            let tid = self.vms[vmi].vhost_tid;
+        if !is_tx && !self.vms[vmi].pairs[qi].backlog.is_empty() {
+            let (w, _) = self.vms[vmi].worker.queue_work(h);
+            let tid = self.vms[vmi].vhost_tids[w];
             self.wake_thread(tid);
         }
         self.guest_app_wakeup(vm);

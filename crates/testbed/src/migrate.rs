@@ -50,13 +50,13 @@ use es2_apic::Vector;
 use es2_hypervisor::{InterruptPath, Vcpu, VcpuId};
 use es2_net::{Packet, PacketFactory};
 use es2_sim::{SimDuration, SimTime};
-use es2_virtio::{VhostWorker, Virtqueue, VirtqueueConfig};
+use es2_virtio::{QueueId, VhostPool, Virtqueue, VirtqueueConfig};
 
 use es2_core::HybridHandler;
 use es2_metrics::VmModeCounts;
 use es2_sched::{ThreadId, ThreadState};
 
-use crate::machine::{Ev, Machine, Segment, VcpuCtx, VmState};
+use crate::machine::{Ev, Machine, QueuePair, Segment, VcpuCtx, VmState};
 use crate::workload::{GuestWl, WorkloadSpec};
 
 /// Cost model for one migration's blackout window. All sim-time
@@ -167,8 +167,10 @@ pub(crate) struct VmSnapshot {
     pub(crate) vcpu_segs: Vec<Option<Segment>>,
     /// Which vCPUs were running/runnable at pause (woken at resume).
     pub(crate) vcpu_active: Vec<bool>,
-    pub(crate) vhost_seg: Option<Segment>,
-    pub(crate) vhost_active: bool,
+    /// Saved per-vhost-worker segments (one per sharded worker thread).
+    pub(crate) vhost_segs: Vec<Option<Segment>>,
+    /// Which vhost workers were running/runnable at pause.
+    pub(crate) vhost_active: Vec<bool>,
     /// The VM's delivery-mode ledger row (travels with the VM).
     pub(crate) modes: VmModeCounts,
     /// Full blackout for this move (pause + copy + resume).
@@ -341,7 +343,7 @@ impl Machine {
             // follows the VM like one (buffered or forwarded as the RX
             // vector over the reliable path).
             Ev::VfIrq { vm } => {
-                let vector = self.vms[vm as usize].rx_vector;
+                let vector = self.vms[vm as usize].pairs[0].rx_vector;
                 let now = self.now;
                 let m = self.mig.as_mut().unwrap();
                 let vmi = vm as usize;
@@ -390,7 +392,7 @@ impl Machine {
     pub(crate) fn pause_vm(&mut self, vm: u32) -> Box<VmSnapshot> {
         let vmi = vm as usize;
         let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
-        let vhost_tid = self.vms[vmi].vhost_tid;
+        let vhost_tids = self.vms[vmi].vhost_tids.clone();
 
         let mut vcpu_active = Vec::with_capacity(vcpu_tids.len());
         for &tid in &vcpu_tids {
@@ -399,9 +401,12 @@ impl Machine {
                 self.apply_switch(sw);
             }
         }
-        let vhost_active = self.sched.entity(vhost_tid).state != ThreadState::Sleeping;
-        if let Some(sw) = self.sched.deactivate(vhost_tid, self.now) {
-            self.apply_switch(sw);
+        let mut vhost_active = Vec::with_capacity(vhost_tids.len());
+        for &tid in &vhost_tids {
+            vhost_active.push(self.sched.entity(tid).state != ThreadState::Sleeping);
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
         }
 
         // Saved segments travel with the VM; any pending SegDone dies
@@ -411,28 +416,41 @@ impl Machine {
             self.threads[tid.idx()].gen.bump();
             vcpu_segs.push(self.threads[tid.idx()].seg.take());
         }
-        self.threads[vhost_tid.idx()].gen.bump();
-        let vhost_seg = self.threads[vhost_tid.idx()].seg.take();
+        let mut vhost_segs = Vec::with_capacity(vhost_tids.len());
+        for &tid in &vhost_tids {
+            self.threads[tid.idx()].gen.bump();
+            vhost_segs.push(self.threads[tid.idx()].seg.take());
+        }
 
         // Flight-recorder correlation IDs reference the *source*
         // recorder's ledgers; they cannot complete on another host.
         // Observational state only, zero in untraced runs.
-        let tx_vec = self.vms[vmi].tx_vector;
-        let rx_vec = self.vms[vmi].rx_vector;
+        let vectors: Vec<(Vector, Vector)> = self.vms[vmi]
+            .pairs
+            .iter()
+            .map(|p| (p.tx_vector, p.rx_vector))
+            .collect();
         for v in &mut self.vms[vmi].vcpus {
-            v.corr.take(tx_vec);
-            v.corr.take(rx_vec);
+            for &(tx_vec, rx_vec) in &vectors {
+                v.corr.take(tx_vec);
+                v.corr.take(rx_vec);
+            }
             v.corr.take(es2_apic::vectors::LOCAL_TIMER_VECTOR);
         }
 
         let costs = self.mig.as_ref().unwrap().costs;
         let dirty = {
             let s = &self.vms[vmi];
-            s.tx.avail_pending() as u64
-                + s.tx.used_pending() as u64
-                + s.rx.avail_pending() as u64
-                + s.rx.used_pending() as u64
-                + s.backlog.len() as u64
+            s.pairs
+                .iter()
+                .map(|p| {
+                    p.tx.avail_pending() as u64
+                        + p.tx.used_pending() as u64
+                        + p.rx.avail_pending() as u64
+                        + p.rx.used_pending() as u64
+                        + p.backlog.len() as u64
+                })
+                .sum::<u64>()
         };
         let copy_cost = costs.copy_base
             + SimDuration::from_nanos(costs.copy_per_unit.as_nanos().saturating_mul(dirty));
@@ -447,7 +465,7 @@ impl Machine {
             &WorkloadSpec::IdleQuiet,
             false,
             vcpu_tids,
-            vhost_tid,
+            vhost_tids,
         );
         let state = std::mem::replace(&mut self.vms[vmi], fresh);
 
@@ -479,7 +497,7 @@ impl Machine {
             spec,
             vcpu_segs,
             vcpu_active,
-            vhost_seg,
+            vhost_segs,
             vhost_active,
             modes,
             blackout,
@@ -491,12 +509,12 @@ impl Machine {
     pub(crate) fn resume_vm(&mut self, vm: u32, snap: Box<VmSnapshot>) {
         let vmi = vm as usize;
         let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
-        let vhost_tid = self.vms[vmi].vhost_tid;
+        let vhost_tids = self.vms[vmi].vhost_tids.clone();
         let snap = *snap;
 
         let mut st = snap.state;
         st.vcpu_tids = vcpu_tids.clone();
-        st.vhost_tid = vhost_tid;
+        st.vhost_tids = vhost_tids.clone();
         // Slot indices are global across the cell, but re-stamp the vCPU
         // identities defensively (they feed router notifications).
         for (i, v) in st.vcpus.iter_mut().enumerate() {
@@ -504,7 +522,9 @@ impl Machine {
         }
         // Any coalesced throttle wake died with the source's queue; the
         // next kick re-enters admission from the carried bucket state.
-        st.throttle_armed = [false; 2];
+        for pair in st.pairs.iter_mut() {
+            pair.throttle_armed = [false; 2];
+        }
         self.vms[vmi] = st;
         self.specs[vmi] = snap.spec;
         self.modes.merge_vm(vmi, snap.modes);
@@ -514,8 +534,11 @@ impl Machine {
             self.threads[tid.idx()].gen.bump();
             self.threads[tid.idx()].seg = seg;
         }
-        self.threads[vhost_tid.idx()].gen.bump();
-        self.threads[vhost_tid.idx()].seg = snap.vhost_seg;
+        for (w, seg) in snap.vhost_segs.into_iter().enumerate() {
+            let tid = vhost_tids[w];
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = seg;
+        }
 
         let buf = {
             let m = self.mig.as_mut().unwrap();
@@ -544,8 +567,10 @@ impl Machine {
                 self.wake_thread(vcpu_tids[i]);
             }
         }
-        if snap.vhost_active || self.vms[vmi].worker.has_work() {
-            self.wake_thread(vhost_tid);
+        for (w, active) in snap.vhost_active.iter().enumerate() {
+            if *active || self.vms[vmi].worker.has_work_on(w) {
+                self.wake_thread(vhost_tids[w]);
+            }
         }
 
         // Stale-state scan: the exact watchdog pass, run synchronously.
@@ -555,31 +580,32 @@ impl Machine {
         self.watchdog_scan_vm(vm);
 
         // Polling-mode handlers whose requeue event died on the source
-        // (the watchdog scan only covers notification mode).
-        let tx_h = self.vms[vmi].tx_h;
-        if !self.vms[vmi].tx.is_broken()
-            && self.vms[vmi].tx.avail_pending() > 0
-            && !self.vms[vmi].worker.is_queued(tx_h)
-            && self.vms[vmi].cur_handler != Some(tx_h)
-        {
-            self.vms[vmi].worker.queue_work(tx_h);
-            self.wake_thread(vhost_tid);
-        }
-
-        // Quarantined rings: the DEVICE_NEEDS_RESET handshake's pending
-        // reset event died with the source queue; re-schedule it.
-        let rx_h = self.vms[vmi].rx_h;
-        if self.vms[vmi].tx.needs_reset() {
-            self.q.push(
-                self.now + self.p.quarantine_reset_delay,
-                Ev::GuestQueueReset { vm, h: tx_h },
-            );
-        }
-        if self.vms[vmi].rx.needs_reset() {
-            self.q.push(
-                self.now + self.p.quarantine_reset_delay,
-                Ev::GuestQueueReset { vm, h: rx_h },
-            );
+        // (the watchdog scan only covers notification mode), and
+        // quarantined rings whose DEVICE_NEEDS_RESET handshake's pending
+        // reset event died with the source queue — per pair.
+        for qi in 0..self.vms[vmi].pairs.len() {
+            let tx_h = self.vms[vmi].pairs[qi].tx_h;
+            let rx_h = self.vms[vmi].pairs[qi].rx_h;
+            if !self.vms[vmi].pairs[qi].tx.is_broken()
+                && self.vms[vmi].pairs[qi].tx.avail_pending() > 0
+                && !self.vms[vmi].worker.is_queued(tx_h)
+                && !self.vms[vmi].cur_handler.contains(&Some(tx_h))
+            {
+                let (w, _) = self.vms[vmi].worker.queue_work(tx_h);
+                self.wake_thread(vhost_tids[w]);
+            }
+            if self.vms[vmi].pairs[qi].tx.needs_reset() {
+                self.q.push(
+                    self.now + self.p.quarantine_reset_delay,
+                    Ev::GuestQueueReset { vm, h: tx_h },
+                );
+            }
+            if self.vms[vmi].pairs[qi].rx.needs_reset() {
+                self.q.push(
+                    self.now + self.p.quarantine_reset_delay,
+                    Ev::GuestQueueReset { vm, h: rx_h },
+                );
+            }
         }
 
         // Delayed-ACK flush and TCP RTO chains, re-armed from carried
@@ -696,14 +722,16 @@ impl Machine {
             .take()
             .expect("ColdRestart without a spec");
         let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
-        let vhost_tid = self.vms[vmi].vhost_tid;
+        let vhost_tids = self.vms[vmi].vhost_tids.clone();
 
         for &tid in &vcpu_tids {
             self.threads[tid.idx()].gen.bump();
             self.threads[tid.idx()].seg = None;
         }
-        self.threads[vhost_tid.idx()].gen.bump();
-        self.threads[vhost_tid.idx()].seg = None;
+        for &tid in &vhost_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
 
         let fresh = Self::blank_vm_state(
             &self.p,
@@ -712,7 +740,7 @@ impl Machine {
             &spec,
             true,
             vcpu_tids.clone(),
-            vhost_tid,
+            vhost_tids,
         );
         self.vms[vmi] = fresh;
         let ext_seed = self.rng.next_u64();
@@ -765,7 +793,7 @@ impl Machine {
         spec: &WorkloadSpec,
         prefill_rx: bool,
         vcpu_tids: Vec<ThreadId>,
-        vhost_tid: ThreadId,
+        vhost_tids: Vec<ThreadId>,
     ) -> VmState {
         let path = if cfg.use_pi {
             InterruptPath::Posted
@@ -773,60 +801,83 @@ impl Machine {
             InterruptPath::Emulated
         };
         let nv = vcpu_tids.len();
+        let num_workers = vhost_tids.len();
         let mut vcpus = Vec::with_capacity(nv);
         let mut vctx = Vec::with_capacity(nv);
         for idx in 0..nv {
             vcpus.push(Vcpu::new(VcpuId::new(vm, idx as u32), path));
             vctx.push(VcpuCtx::default());
         }
-        let mut worker = VhostWorker::new();
-        let tx_h = worker.register_handler();
-        let rx_h = worker.register_handler();
+        let mut worker = VhostPool::new(num_workers, p.shard_policy);
         let vq_cfg = VirtqueueConfig {
             size: p.ring_size,
             event_idx: true,
         };
-        let mut tx = Virtqueue::new(vq_cfg);
-        let mut rx = Virtqueue::new(vq_cfg);
-        tx.driver_disable_interrupts();
-        if prefill_rx {
-            let mut pf_init = PacketFactory::new();
-            for _ in 0..p.ring_size {
-                let placeholder = pf_init.make(
-                    es2_net::FlowId(vm),
-                    es2_net::PacketKind::Data,
-                    0,
-                    SimTime::ZERO,
-                );
-                rx.driver_add(placeholder).expect("ring has room");
+        let num_pairs = p.queues_per_vm.max(1);
+        let mut pf_init = PacketFactory::new();
+        let mut pairs = Vec::with_capacity(num_pairs as usize);
+        for qi in 0..num_pairs {
+            let owner = qi % nv as u32;
+            let (tx_h, rx_h) = worker.register_pair(vm, qi, owner);
+            let mut tx = Virtqueue::with_id(
+                vq_cfg,
+                QueueId {
+                    vm,
+                    vq: (2 * qi) as u16,
+                },
+            );
+            let mut rx = Virtqueue::with_id(
+                vq_cfg,
+                QueueId {
+                    vm,
+                    vq: (2 * qi + 1) as u16,
+                },
+            );
+            tx.driver_disable_interrupts();
+            if prefill_rx {
+                for _ in 0..p.ring_size {
+                    let placeholder = pf_init.make(
+                        es2_net::FlowId(vm),
+                        es2_net::PacketKind::Data,
+                        0,
+                        SimTime::ZERO,
+                    );
+                    rx.driver_add(placeholder).expect("ring has room");
+                }
             }
-        }
-        rx.device_disable_notify();
-        let mut tx_handler = match cfg.hybrid {
-            Some(h) => HybridHandler::new(h),
-            None => HybridHandler::stock(),
-        };
-        if let Some(bp) = p.backpressure {
-            tx_handler.set_service_budget(bp.service_budget);
+            rx.device_disable_notify();
+            let mut tx_handler = match cfg.hybrid {
+                Some(h) => HybridHandler::new(h),
+                None => HybridHandler::stock(),
+            };
+            if let Some(bp) = p.backpressure {
+                tx_handler.set_service_budget(bp.service_budget);
+            }
+            pairs.push(QueuePair {
+                tx_h,
+                rx_h,
+                tx,
+                rx,
+                tx_handler,
+                rx_turn: 0,
+                backlog: es2_net::NicQueue::new(p.host_backlog),
+                tx_vector: 0x41 + (2 * qi) as u8,
+                rx_vector: 0x42 + (2 * qi) as u8,
+                affinity_vcpu: owner,
+                blocked_tx_full: false,
+                kick_bucket: p.backpressure.as_ref().map(crate::backpressure::KickBucket::new),
+                throttle_armed: [false; 2],
+                budget_window_idx: 0,
+            });
         }
         VmState {
             vcpus,
             vcpu_tids,
             vctx,
-            vhost_tid,
+            vhost_tids,
             worker,
-            tx_h,
-            rx_h,
-            cur_handler: None,
-            tx,
-            rx,
-            tx_handler,
-            rx_turn: 0,
-            backlog: es2_net::NicQueue::new(p.host_backlog),
-            tx_vector: 0x41,
-            rx_vector: 0x42,
-            affinity_vcpu: 0,
-            blocked_tx_full: false,
+            cur_handler: vec![None; num_workers],
+            pairs,
             guest_idles: spec.guest_idles(),
             wl: GuestWl::for_spec(spec, p.tcp_window),
             dropped_tx: 0,
@@ -840,10 +891,8 @@ impl Machine {
             watchdog_reraises: 0,
             guest_rtos: 0,
             bp: es2_metrics::BackpressureStats::default(),
-            kick_bucket: p.backpressure.as_ref().map(crate::backpressure::KickBucket::new),
-            throttle_armed: [false; 2],
-            budget_window_idx: 0,
             rx_hist: es2_metrics::Histogram::new(),
+            device_irqs_per_vcpu: vec![0; nv],
         }
     }
 }

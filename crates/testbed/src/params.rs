@@ -161,7 +161,21 @@ pub struct Params {
     /// Virtqueue size (vhost-net default 256).
     pub ring_size: u16,
     /// Host-side per-VM ingress backlog (NIC ring + socket backlog).
+    /// Multi-queue devices get one backlog of this capacity per pair
+    /// (each RX queue owns a NIC ring slice).
     pub host_backlog: usize,
+
+    // ---- multi-queue virtio ----
+    /// TX/RX virtqueue pairs per VM (virtio-net multiqueue; one pair
+    /// per vCPU is the canonical setting). 1 = the legacy
+    /// single-queue device, byte-identical to pre-multi-queue runs.
+    pub queues_per_vm: u32,
+    /// vhost workers per VM's backend. 0 = resolve from
+    /// `ES2_VHOST_WORKERS` via [`es2_sim::exec::effective_vhost_workers`]
+    /// (default 1, the legacy single-worker mux).
+    pub vhost_workers: u32,
+    /// How queue pairs are assigned to workers.
+    pub shard_policy: es2_virtio::ShardPolicy,
 
     // ---- transport ----
     /// Guest-side TCP send window in segments (socket buffer over MSS).
@@ -268,6 +282,10 @@ impl Default for Params {
             ring_size: 256,
             host_backlog: 512,
 
+            queues_per_vm: 1,
+            vhost_workers: 0,
+            shard_policy: es2_virtio::ShardPolicy::Mux,
+
             tcp_window: 85,
             ext_tcp_window: 1000,
             delayed_ack_timeout: SimDuration::from_millis(40),
@@ -314,9 +332,23 @@ impl Params {
     /// avoids regrowth in wide multiplexed runs.
     pub fn event_capacity_hint(&self, num_vms: u32, vcpus_per_vm: u32) -> usize {
         let timers = (self.num_cores + num_vms * vcpus_per_vm) as usize;
+        let pairs = self.queues_per_vm.max(1) as usize;
         let inflight =
-            2 * self.ring_size as usize * num_vms as usize + self.host_backlog;
+            2 * self.ring_size as usize * pairs * num_vms as usize + self.host_backlog;
         (timers + inflight + 64).next_power_of_two()
+    }
+
+    /// The resolved vhost worker count for this parameter set: the
+    /// explicit `vhost_workers` if non-zero, else the `ES2_VHOST_WORKERS`
+    /// environment default — always clamped to the pair count so every
+    /// worker owns at least one potential pair.
+    pub fn effective_vhost_workers(&self) -> usize {
+        let pairs = self.queues_per_vm.max(1) as usize;
+        if self.vhost_workers > 0 {
+            (self.vhost_workers as usize).min(pairs.max(1))
+        } else {
+            es2_sim::exec::effective_vhost_workers(pairs)
+        }
     }
 
     /// Size-dependent cost helper: `base + ns_per_kb · bytes / 1024`.
@@ -367,6 +399,31 @@ mod tests {
         assert!(p.ring_size.is_power_of_two());
         assert!(p.tcp_window > 0 && (p.tcp_window as u16) < p.ring_size);
         assert!(p.warmup < p.measure);
+        // Multi-queue defaults are the legacy single-queue mux device.
+        assert_eq!(p.queues_per_vm, 1);
+        assert_eq!(p.vhost_workers, 0, "0 = env-resolved, default 1");
+        assert_eq!(p.shard_policy, es2_virtio::ShardPolicy::Mux);
+    }
+
+    #[test]
+    fn worker_resolution_clamps_to_pair_count() {
+        let mut p = Params::default();
+        p.queues_per_vm = 2;
+        p.vhost_workers = 4;
+        assert_eq!(p.effective_vhost_workers(), 2, "worker per pair at most");
+        p.vhost_workers = 1;
+        assert_eq!(p.effective_vhost_workers(), 1);
+        p.queues_per_vm = 8;
+        p.vhost_workers = 3;
+        assert_eq!(p.effective_vhost_workers(), 3);
+    }
+
+    #[test]
+    fn event_capacity_scales_with_queue_pairs() {
+        let mut p = Params::default();
+        let single = p.event_capacity_hint(64, 2);
+        p.queues_per_vm = 4;
+        assert!(p.event_capacity_hint(64, 2) > single);
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub struct RunResult {
     pub quarantines_total: u64,
     /// Guest-initiated queue resets across all VMs (tx + rx, lifetime).
     pub queue_resets_total: u64,
+    /// Device interrupts (TX-clean + RX, no timers) handled per vCPU of
+    /// the tested VM — evidence of per-queue MSI steering.
+    pub device_irqs_per_vcpu: Vec<u64>,
 }
 
 impl RunResult {
@@ -196,8 +199,10 @@ impl RunResult {
             backpressure.merge(&vm.bp);
             backpressure_per_vm.push(vm.bp);
             rx_p99_us_per_vm.push(vm.rx_hist.p99());
-            quarantines_total += vm.tx.quarantine_count() + vm.rx.quarantine_count();
-            queue_resets_total += vm.tx.reset_count() + vm.rx.reset_count();
+            for pair in &vm.pairs {
+                quarantines_total += pair.tx.quarantine_count() + pair.rx.quarantine_count();
+                queue_resets_total += pair.tx.reset_count() + pair.rx.reset_count();
+            }
         }
 
         let (redirections, offline_predictions) = match &m.router {
@@ -218,13 +223,17 @@ impl RunResult {
             mean_conn_time_ms,
             conns_established,
             rtt_series,
-            kicks_total: vm0.tx.kick_count() + vm0.rx.kick_count(),
-            rx_interrupts_total: vm0.rx.interrupt_count(),
+            kicks_total: vm0
+                .pairs
+                .iter()
+                .map(|p| p.tx.kick_count() + p.rx.kick_count())
+                .sum(),
+            rx_interrupts_total: vm0.pairs.iter().map(|p| p.rx.interrupt_count()).sum(),
             redirections,
             offline_predictions,
-            backlog_drops: vm0.backlog.dropped_total(),
+            backlog_drops: vm0.pairs.iter().map(|p| p.backlog.dropped_total()).sum(),
             host_ctx_switches,
-            polling_entries: vm0.tx_handler.polling_entries(),
+            polling_entries: vm0.pairs.iter().map(|p| p.tx_handler.polling_entries()).sum(),
             parked_irqs: vm0.parked_count,
             migrated_irqs: vm0.migrated_count,
             mean_rx_latency_us: vm0.rx_latency.mean(),
@@ -241,6 +250,7 @@ impl RunResult {
             rx_p99_us_per_vm,
             quarantines_total,
             queue_resets_total,
+            device_irqs_per_vcpu: vm0.device_irqs_per_vcpu.clone(),
         }
     }
 }

@@ -18,7 +18,7 @@
 //! run length.
 
 use es2_metrics::span::{SpanEvent, SpanRecorder, SpanReport, Stage};
-use es2_virtio::{HandlerId, VhostWorker};
+use es2_virtio::{HandlerId, VhostPool};
 
 /// Synthetic Chrome-trace `tid` for vhost-worker turn slices, placed well
 /// above any vCPU index.
@@ -84,7 +84,8 @@ pub(crate) struct SpanTracker {
     rec: SpanRecorder,
     irqs: Vec<IrqSpan>,
     reqs: Vec<ReqSpan>,
-    /// Per-VM start of the vhost handler turn currently executing.
+    /// Per-(VM, vhost worker) start of the handler turn currently
+    /// executing on that worker, indexed by `vm * workers + w`.
     turn_start: Vec<Option<u64>>,
     /// Running guest handlers as `(vm, vcpu, corr)` — per-vCPU LIFO
     /// (handlers nest: an exit can inject a second vector while the
@@ -95,12 +96,12 @@ pub(crate) struct SpanTracker {
 }
 
 impl SpanTracker {
-    pub(crate) fn new(num_vms: usize, event_capacity: usize) -> Self {
+    pub(crate) fn new(num_vms: usize, workers: usize, event_capacity: usize) -> Self {
         SpanTracker {
             rec: SpanRecorder::new(num_vms, event_capacity),
             irqs: Vec::new(),
             reqs: Vec::new(),
-            turn_start: vec![None; num_vms],
+            turn_start: vec![None; num_vms * workers.max(1)],
             handlers: Vec::new(),
         }
     }
@@ -114,7 +115,7 @@ impl SpanTracker {
     pub(crate) fn on_kick_signal(
         &mut self,
         vm: u32,
-        worker: &mut VhostWorker,
+        worker: &mut VhostPool,
         h: HandlerId,
         origin: KickOrigin,
         now_ns: u64,
@@ -162,10 +163,11 @@ impl SpanTracker {
         }
     }
 
-    /// A vhost handler turn begins. `corr` is the ID taken off the
+    /// A vhost handler turn begins on the worker whose turn slot is
+    /// `slot` (`vm * workers + w`). `corr` is the ID taken off the
     /// pending kick (0 = turn not owed to a traced signal). Closes the
     /// signal→pickup stage and opens the service-time slot.
-    pub(crate) fn on_turn_begin(&mut self, vm: u32, corr: u64, now_ns: u64, windowed: bool) {
+    pub(crate) fn on_turn_begin(&mut self, vm: u32, slot: usize, corr: u64, now_ns: u64, windowed: bool) {
         if corr != 0 {
             if let Some(i) = self.reqs.iter().position(|r| r.corr == corr) {
                 let r = self.reqs.swap_remove(i);
@@ -180,13 +182,13 @@ impl SpanTracker {
                 self.rec.notes_mut().reqs_closed += 1;
             }
         }
-        self.turn_start[vm as usize] = Some(now_ns);
+        self.turn_start[slot] = Some(now_ns);
     }
 
-    /// The current vhost handler turn for `vm` ended (handler went back
-    /// to the work list or the worker went idle).
-    pub(crate) fn on_turn_end(&mut self, vm: u32, now_ns: u64, windowed: bool) {
-        if let Some(start) = self.turn_start[vm as usize].take() {
+    /// The vhost handler turn in `slot` ended (handler went back to the
+    /// work list or the worker went idle).
+    pub(crate) fn on_turn_end(&mut self, vm: u32, slot: usize, now_ns: u64, windowed: bool) {
+        if let Some(start) = self.turn_start[slot].take() {
             if windowed {
                 self.rec.record(vm, Stage::VhostService, now_ns - start);
             }
@@ -449,20 +451,21 @@ impl SpanTracker {
 mod tests {
     use super::*;
     use es2_metrics::span::Stage;
+    use es2_virtio::ShardPolicy;
 
     #[test]
     fn request_span_closes_on_pickup_with_the_right_stage() {
-        let mut tr = SpanTracker::new(1, 0);
-        let mut w = VhostWorker::new();
-        let h = w.register_handler();
+        let mut tr = SpanTracker::new(1, 1, 0);
+        let mut w = VhostPool::new(1, ShardPolicy::Mux);
+        let (h, _rx) = w.register_pair(0, 0, 0);
 
         tr.on_kick_signal(0, &mut w, h, KickOrigin::Kick, 100);
         // Coalesced second signal keeps the first span.
         tr.on_kick_signal(0, &mut w, h, KickOrigin::Kick, 150);
         let corr = w.take_kick_corr(h);
         assert_eq!(corr, 1);
-        tr.on_turn_begin(0, corr, 400, true);
-        tr.on_turn_end(0, 900, true);
+        tr.on_turn_begin(0, 0, corr, 400, true);
+        tr.on_turn_end(0, 0, 900, true);
 
         let rep = tr.finish();
         assert_eq!(rep.stage(0, Stage::ExitNotify).count(), 1);
@@ -477,12 +480,12 @@ mod tests {
 
     #[test]
     fn polled_requeue_records_polled_pickup() {
-        let mut tr = SpanTracker::new(1, 0);
-        let mut w = VhostWorker::new();
-        let h = w.register_handler();
+        let mut tr = SpanTracker::new(1, 1, 0);
+        let mut w = VhostPool::new(1, ShardPolicy::Mux);
+        let (h, _rx) = w.register_pair(0, 0, 0);
         tr.on_kick_signal(0, &mut w, h, KickOrigin::Requeue, 0);
         let corr = w.take_kick_corr(h);
-        tr.on_turn_begin(0, corr, 50, true);
+        tr.on_turn_begin(0, 0, corr, 50, true);
         let rep = tr.finish();
         assert_eq!(rep.stage(0, Stage::PolledPickup).count(), 1);
         assert_eq!(rep.stage(0, Stage::ExitNotify).count(), 0);
@@ -490,7 +493,7 @@ mod tests {
 
     #[test]
     fn irq_span_attributes_parked_time_to_sched_delay() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         // Raise at t=1000 towards a descheduled vCPU 0.
         let corr = tr.on_msi_raised(0, 0, 0x41, false, false, false, 0, 1000);
         // vCPU runs again at t=5000; injection at t=5200.
@@ -512,7 +515,7 @@ mod tests {
 
     #[test]
     fn sched_out_then_in_accumulates_delay_for_running_target() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         // Target is running at raise time...
         let corr = tr.on_msi_raised(0, 2, 0x42, true, true, false, 0, 0);
         // ...but gets preempted before injection.
@@ -529,7 +532,7 @@ mod tests {
 
     #[test]
     fn migration_retargets_and_closes_parked_interval() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         let corr = tr.on_msi_raised(0, 0, 0x41, false, false, false, 0, 0);
         tr.on_migrated(corr, 3, 2500);
         tr.on_irq_begin(0, 3, corr, 2600, true);
@@ -543,7 +546,7 @@ mod tests {
 
     #[test]
     fn coalesced_raise_and_watchdog_notes() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         let _ = tr.on_msi_raised(0, 0, 0x41, false, true, true, 0, 0);
         tr.on_msi_coalesced(true);
         let rep = tr.finish();
@@ -554,7 +557,7 @@ mod tests {
 
     #[test]
     fn nested_timer_handler_does_not_close_the_device_span() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         let corr = tr.on_msi_raised(0, 0, 0x42, false, true, false, 0, 0);
         tr.on_irq_begin(0, 0, corr, 100, true); // device handler starts
         tr.on_irq_begin(0, 0, 0, 200, true); // timer nests on top
@@ -572,7 +575,7 @@ mod tests {
 
     #[test]
     fn out_of_window_samples_are_not_recorded() {
-        let mut tr = SpanTracker::new(1, 0);
+        let mut tr = SpanTracker::new(1, 1, 0);
         let corr = tr.on_msi_raised(0, 0, 0x41, false, true, false, 0, 0);
         tr.on_irq_begin(0, 0, corr, 100, false);
         tr.on_handler_end(0, 0, 200, false);

@@ -35,4 +35,4 @@ pub mod queue;
 pub mod vhost;
 
 pub use queue::{KickDecision, RingError, Virtqueue, VirtqueueConfig};
-pub use vhost::{HandlerId, VhostWorker};
+pub use vhost::{HandlerId, QueueId, ShardPolicy, VhostPool, VhostWorker};

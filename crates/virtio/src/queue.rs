@@ -16,6 +16,8 @@
 
 use std::collections::VecDeque;
 
+use crate::vhost::QueueId;
+
 /// Configuration of one virtqueue.
 #[derive(Clone, Copy, Debug)]
 pub struct VirtqueueConfig {
@@ -123,6 +125,10 @@ fn need_event(event_idx: u16, new_idx: u16, old_idx: u16) -> bool {
 #[derive(Clone, Debug)]
 pub struct Virtqueue<T> {
     cfg: VirtqueueConfig,
+    /// Host-wide identity of this queue, if attached (multi-queue
+    /// devices label each ring so validation/quarantine/reset events
+    /// name the exact queue).
+    id: Option<QueueId>,
     /// Buffers exposed by the driver, not yet consumed by the device.
     avail: VecDeque<T>,
     /// Buffers completed by the device, not yet reclaimed by the driver.
@@ -181,6 +187,7 @@ impl<T> Virtqueue<T> {
         assert!(cfg.size > 0 && cfg.size.is_power_of_two(), "ring size");
         Virtqueue {
             cfg,
+            id: None,
             avail: VecDeque::with_capacity(cfg.size as usize),
             used: VecDeque::with_capacity(cfg.size as usize),
             num_free: cfg.size,
@@ -209,9 +216,21 @@ impl<T> Virtqueue<T> {
         }
     }
 
+    /// A new, empty virtqueue carrying the host-wide identity `id`.
+    pub fn with_id(cfg: VirtqueueConfig, id: QueueId) -> Self {
+        let mut q = Self::new(cfg);
+        q.id = Some(id);
+        q
+    }
+
     /// Ring configuration.
     pub fn config(&self) -> VirtqueueConfig {
         self.cfg
+    }
+
+    /// The host-wide identity of this queue, if attached.
+    pub fn id(&self) -> Option<QueueId> {
+        self.id
     }
 
     // ------------------------------------------------------------------
@@ -1031,6 +1050,25 @@ mod tests {
         let p = q.device_pop().unwrap();
         assert!(q.device_push_used(p));
         assert_eq!(q.driver_take_used(), Some(1));
+    }
+
+    #[test]
+    fn queue_identity_survives_quarantine_and_reset() {
+        let id = QueueId { vm: 9, vq: 3 };
+        let mut q: Virtqueue<u32> = Virtqueue::with_id(
+            VirtqueueConfig {
+                size: 8,
+                event_idx: true,
+            },
+            id,
+        );
+        assert_eq!(q.id(), Some(id));
+        q.quarantine();
+        assert_eq!(q.id(), Some(id), "identity is not ring state");
+        assert!(q.guest_reset());
+        assert_eq!(q.id(), Some(id), "identity survives the reset");
+        let anon = vq(true);
+        assert_eq!(anon.id(), None);
     }
 
     #[test]

@@ -209,6 +209,267 @@ impl VhostWorker {
     }
 }
 
+/// Identity of one virtqueue in the host-wide queue namespace: VM slot
+/// plus virtqueue index within the VM (`vq = 2*pair` for TX, `2*pair+1`
+/// for RX, matching the virtio-net queue layout). Threaded through ring
+/// validation, quarantine and reset so every trust-boundary event names
+/// the exact queue, not just the VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId {
+    /// Owning VM slot.
+    pub vm: u32,
+    /// Virtqueue index within the VM.
+    pub vq: u16,
+}
+
+impl QueueId {
+    /// The queue pair this virtqueue belongs to.
+    #[inline]
+    pub fn pair(self) -> u16 {
+        self.vq / 2
+    }
+
+    /// True for the TX half of the pair.
+    #[inline]
+    pub fn is_tx(self) -> bool {
+        self.vq % 2 == 0
+    }
+}
+
+/// How queue pairs are assigned to the vhost workers of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Every pair on worker 0 — the legacy single-thread mux. With one
+    /// worker this is byte-identical to the pre-multi-queue model.
+    #[default]
+    Mux,
+    /// Pair spread by a deterministic hash of `(vm, pair)`.
+    Hash,
+    /// Pair follows its owning vCPU (`owner % workers`), so a vCPU's TX
+    /// and RX service lands on a stable worker — the per-vCPU affine
+    /// sharding of multiqueue vhost-net.
+    Affine,
+    /// Each pair owns a worker outright (`worker == pair`) and the
+    /// dispatch hop is skipped entirely: the NVMe I/O-queues-passthrough
+    /// shape, where a queue maps straight to its backend poller.
+    Passthrough,
+}
+
+impl ShardPolicy {
+    /// The worker index serving `pair` of `vm` under this policy.
+    /// `workers` must be >= 1; results are always in `0..workers`.
+    pub fn worker_for(self, vm: u32, pair: u32, owner_vcpu: u32, workers: u32) -> u32 {
+        let w = workers.max(1);
+        match self {
+            ShardPolicy::Mux => 0,
+            ShardPolicy::Hash => {
+                let x = (((vm as u64) << 32) | pair as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((x >> 33) % w as u64) as u32
+            }
+            ShardPolicy::Affine => owner_vcpu % w,
+            ShardPolicy::Passthrough => pair % w,
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::Mux => "mux",
+            ShardPolicy::Hash => "hash",
+            ShardPolicy::Affine => "affine",
+            ShardPolicy::Passthrough => "passthrough",
+        }
+    }
+}
+
+/// One device's vhost backend: `N` workers sharing a handler arena, with
+/// a sharding policy that pins each handler to exactly one worker.
+///
+/// Every handler is registered on every worker so [`HandlerId`] arena
+/// indices stay valid wherever a (guest-influenced) id shows up, but a
+/// handler is only ever *queued* on its assigned worker — the FIFO
+/// invariants of [`VhostWorker`] hold per worker, and cross-worker state
+/// never mixes. With one worker and [`ShardPolicy::Mux`] the pool is
+/// operationally identical to a bare [`VhostWorker`].
+///
+/// The pool keeps a cached `pending_total` so host-wide pending-work
+/// checks are O(1) instead of a sum over workers; the counter is
+/// maintained across queue/dispatch/quarantine transitions and audited
+/// by the contract tests below.
+#[derive(Clone, Debug)]
+pub struct VhostPool {
+    workers: Vec<VhostWorker>,
+    /// Handler idx -> assigned worker idx.
+    assign: Vec<u32>,
+    policy: ShardPolicy,
+    /// Cached sum of `workers[w].pending()` (O(1) pool pending).
+    pending_total: usize,
+}
+
+impl VhostPool {
+    /// A pool of `workers` empty workers under `policy`.
+    pub fn new(workers: usize, policy: ShardPolicy) -> Self {
+        let n = workers.max(1);
+        VhostPool {
+            workers: (0..n).map(|_| VhostWorker::new()).collect(),
+            assign: Vec::new(),
+            policy,
+            pending_total: 0,
+        }
+    }
+
+    /// Register one TX/RX queue pair owned by `owner_vcpu`, returning
+    /// `(tx, rx)` handler ids. Both halves land on the same worker.
+    pub fn register_pair(&mut self, vm: u32, pair: u32, owner_vcpu: u32) -> (HandlerId, HandlerId) {
+        let w = self
+            .policy
+            .worker_for(vm, pair, owner_vcpu, self.workers.len() as u32);
+        let mut tx = HandlerId(0);
+        let mut rx = HandlerId(0);
+        for worker in &mut self.workers {
+            tx = worker.register_handler();
+            rx = worker.register_handler();
+        }
+        self.assign.push(w);
+        self.assign.push(w);
+        (tx, rx)
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The sharding policy.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// True when queues own their workers and the dispatch hop is
+    /// elided (see [`ShardPolicy::Passthrough`]).
+    pub fn is_passthrough(&self) -> bool {
+        self.policy == ShardPolicy::Passthrough
+    }
+
+    /// The worker assigned to `h` (worker 0 for unregistered ids, whose
+    /// kicks that worker refuses and counts).
+    pub fn worker_of(&self, h: HandlerId) -> usize {
+        self.assign.get(h.idx()).copied().unwrap_or(0) as usize
+    }
+
+    /// Read-only view of worker `w`'s ledger.
+    pub fn worker(&self, w: usize) -> &VhostWorker {
+        &self.workers[w]
+    }
+
+    /// Queue `h` on its assigned worker. Returns the worker index and
+    /// whether that worker was idle (its thread must be woken).
+    pub fn queue_work(&mut self, h: HandlerId) -> (usize, bool) {
+        let w = self.worker_of(h);
+        let before = self.workers[w].is_queued(h);
+        let was_idle = self.workers[w].queue_work(h);
+        if !before && self.workers[w].is_queued(h) {
+            self.pending_total += 1;
+        }
+        (w, was_idle)
+    }
+
+    /// Pop worker `w`'s next handler, or `None` (that thread sleeps).
+    pub fn next_work(&mut self, w: usize) -> Option<HandlerId> {
+        let h = self.workers[w].next_work();
+        if h.is_some() {
+            self.pending_total -= 1;
+        }
+        h
+    }
+
+    /// True if worker `w` has queued handlers.
+    pub fn has_work_on(&self, w: usize) -> bool {
+        self.workers[w].has_work()
+    }
+
+    /// True if any worker has queued handlers — O(1) via the cached
+    /// counter.
+    pub fn has_work(&self) -> bool {
+        self.pending_total > 0
+    }
+
+    /// Total queued handlers across all workers, O(1).
+    pub fn pending_total(&self) -> usize {
+        self.pending_total
+    }
+
+    /// Queued handlers on worker `w`.
+    pub fn pending_on(&self, w: usize) -> usize {
+        self.workers[w].pending()
+    }
+
+    /// True if `h` is queued (on its assigned worker).
+    pub fn is_queued(&self, h: HandlerId) -> bool {
+        self.workers[self.worker_of(h)].is_queued(h)
+    }
+
+    /// Quarantine `h` on its worker; see [`VhostWorker::quarantine`].
+    pub fn quarantine(&mut self, h: HandlerId) -> bool {
+        let w = self.worker_of(h);
+        let was_pending = self.workers[w].quarantine(h);
+        if was_pending {
+            self.pending_total -= 1;
+        }
+        was_pending
+    }
+
+    /// Lift the quarantine on `h`; see [`VhostWorker::release`].
+    pub fn release(&mut self, h: HandlerId) {
+        let w = self.worker_of(h);
+        self.workers[w].release(h);
+    }
+
+    /// True if `h` is quarantined.
+    pub fn is_quarantined(&self, h: HandlerId) -> bool {
+        self.workers[self.worker_of(h)].is_quarantined(h)
+    }
+
+    /// Kicks refused across all workers for naming unregistered ids.
+    pub fn rejected_kick_count(&self) -> u64 {
+        self.workers.iter().map(|w| w.rejected_kick_count()).sum()
+    }
+
+    /// Kicks refused across all workers for naming quarantined handlers.
+    pub fn quarantined_kick_count(&self) -> u64 {
+        self.workers.iter().map(|w| w.quarantined_kick_count()).sum()
+    }
+
+    /// Idle→busy transitions across all workers.
+    pub fn wakeup_count(&self) -> u64 {
+        self.workers.iter().map(|w| w.wakeup_count()).sum()
+    }
+
+    /// Handler invocations dispatched across all workers.
+    pub fn dispatch_count(&self) -> u64 {
+        self.workers.iter().map(|w| w.dispatch_count()).sum()
+    }
+
+    /// Attach a flight-recorder correlation id to `h`'s pending kick on
+    /// its assigned worker; see [`VhostWorker::note_kick_corr`].
+    pub fn note_kick_corr(&mut self, h: HandlerId, corr: u64) -> bool {
+        let w = self.worker_of(h);
+        self.workers[w].note_kick_corr(h, corr)
+    }
+
+    /// The correlation id riding with `h`'s pending kick (0 if none).
+    pub fn kick_corr(&self, h: HandlerId) -> u64 {
+        self.workers[self.worker_of(h)].kick_corr(h)
+    }
+
+    /// Remove and return the correlation id riding with `h`'s pending
+    /// kick (0 if none).
+    pub fn take_kick_corr(&mut self, h: HandlerId) -> u64 {
+        let w = self.worker_of(h);
+        self.workers[w].take_kick_corr(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +654,137 @@ mod tests {
         assert_eq!(w.wakeup_count(), 2);
         assert_eq!(w.dispatch_count(), 3);
         assert!(!w.has_work());
+    }
+
+    // ------------------------------------------------------------------
+    // Pool / sharding contracts
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn policy_worker_for_is_in_range_and_stable() {
+        for &policy in &[
+            ShardPolicy::Mux,
+            ShardPolicy::Hash,
+            ShardPolicy::Affine,
+            ShardPolicy::Passthrough,
+        ] {
+            for vm in 0..8 {
+                for pair in 0..8 {
+                    for workers in 1..8 {
+                        let w = policy.worker_for(vm, pair, pair % 2, workers);
+                        assert!(w < workers, "{policy:?} out of range");
+                        let again = policy.worker_for(vm, pair, pair % 2, workers);
+                        assert_eq!(w, again, "{policy:?} must be deterministic");
+                    }
+                }
+            }
+        }
+        // Mux is always worker 0; passthrough pins pair == worker.
+        assert_eq!(ShardPolicy::Mux.worker_for(3, 5, 1, 4), 0);
+        assert_eq!(ShardPolicy::Passthrough.worker_for(3, 2, 0, 4), 2);
+        assert_eq!(ShardPolicy::Affine.worker_for(3, 5, 1, 4), 1);
+    }
+
+    #[test]
+    fn pool_single_worker_mux_matches_bare_worker() {
+        let mut pool = VhostPool::new(1, ShardPolicy::Mux);
+        let mut bare = VhostWorker::new();
+        let (ptx, prx) = pool.register_pair(0, 0, 0);
+        let btx = bare.register_handler();
+        let brx = bare.register_handler();
+        assert_eq!((ptx, prx), (btx, brx), "handler ids line up");
+        assert_eq!(pool.queue_work(ptx), (0, bare.queue_work(btx)));
+        assert_eq!(pool.queue_work(prx), (0, bare.queue_work(brx)));
+        assert_eq!(pool.next_work(0), bare.next_work());
+        assert_eq!(pool.next_work(0), bare.next_work());
+        assert_eq!(pool.next_work(0), bare.next_work());
+        assert_eq!(pool.pending_total(), 0);
+    }
+
+    /// Satellite contract: queue_work -> next_work round-trips preserve
+    /// FIFO order per worker even while other handlers on the same and
+    /// other workers are quarantined and released in between.
+    #[test]
+    fn pool_fifo_per_worker_under_interleaved_quarantine_release() {
+        // Passthrough with 4 pairs / 4 workers: pair k owns worker k.
+        let mut pool = VhostPool::new(4, ShardPolicy::Passthrough);
+        let pairs: Vec<(HandlerId, HandlerId)> =
+            (0..4).map(|p| pool.register_pair(0, p, p % 2)).collect();
+        for (p, &(tx, rx)) in pairs.iter().enumerate() {
+            assert_eq!(pool.worker_of(tx), p);
+            assert_eq!(pool.worker_of(rx), p);
+        }
+
+        // Queue rx then tx on worker 1; quarantine worker 2's tx in
+        // between; FIFO on worker 1 must be unaffected.
+        let (tx1, rx1) = pairs[1];
+        let (tx2, _rx2) = pairs[2];
+        pool.queue_work(rx1);
+        pool.queue_work(tx2);
+        assert!(pool.quarantine(tx2), "pending invocation dropped");
+        pool.queue_work(tx1);
+        assert_eq!(pool.pending_total(), 2);
+        assert_eq!(pool.next_work(1), Some(rx1), "FIFO: rx queued first");
+        pool.queue_work(rx1); // requeue mid-drain
+        assert_eq!(pool.next_work(1), Some(tx1));
+        assert_eq!(pool.next_work(1), Some(rx1));
+        assert_eq!(pool.next_work(1), None);
+
+        // Quarantined handler refuses kicks until release; release does
+        // not requeue on its own.
+        assert_eq!(pool.queue_work(tx2), (2, false));
+        assert_eq!(pool.worker(2).quarantined_kick_count(), 1);
+        pool.release(tx2);
+        assert!(!pool.has_work_on(2));
+        assert_eq!(pool.queue_work(tx2), (2, true), "post-release kick wakes");
+        assert_eq!(pool.next_work(2), Some(tx2));
+        assert_eq!(pool.pending_total(), 0);
+    }
+
+    /// Satellite contract: the cached pool pending counter stays equal
+    /// to the per-worker sum across every transition that can change it.
+    #[test]
+    fn pool_pending_total_is_exact_across_transitions() {
+        let mut pool = VhostPool::new(2, ShardPolicy::Hash);
+        let mut hs = Vec::new();
+        for p in 0..4 {
+            let (tx, rx) = pool.register_pair(7, p, p % 2);
+            hs.push(tx);
+            hs.push(rx);
+        }
+        let audit = |pool: &VhostPool| {
+            let sum: usize = (0..pool.num_workers()).map(|w| pool.pending_on(w)).sum();
+            assert_eq!(pool.pending_total(), sum, "cached counter drifted");
+        };
+        for &h in &hs {
+            pool.queue_work(h);
+            pool.queue_work(h); // duplicate coalesces, no double count
+            audit(&pool);
+        }
+        pool.quarantine(hs[3]);
+        audit(&pool);
+        pool.quarantine(hs[3]); // already quarantined, idempotent
+        audit(&pool);
+        pool.release(hs[3]);
+        audit(&pool);
+        pool.queue_work(HandlerId(99)); // rejected, not counted
+        audit(&pool);
+        for w in 0..pool.num_workers() {
+            while pool.next_work(w).is_some() {
+                audit(&pool);
+            }
+        }
+        assert!(!pool.has_work());
+        assert_eq!(pool.pending_total(), 0);
+    }
+
+    #[test]
+    fn queue_id_halves() {
+        let tx = QueueId { vm: 3, vq: 4 };
+        let rx = QueueId { vm: 3, vq: 5 };
+        assert_eq!(tx.pair(), 2);
+        assert_eq!(rx.pair(), 2);
+        assert!(tx.is_tx());
+        assert!(!rx.is_tx());
     }
 }

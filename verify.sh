@@ -181,3 +181,59 @@ awk -v inrun="$inrun" 'BEGIN {
     else
         printf "committed in_run_speedup %s (target 4x): ok\n", inrun
 }'
+
+# Multi-queue determinism: the sharded-vhost sweep report must be
+# byte-identical serial (ES2_THREADS=1) vs the default thread count at
+# every ES2_LANES x ES2_VHOST_WORKERS combination — worker count and
+# shard policy are model parameters, so reports are only compared
+# within one env combination, never across two.
+for lanes in 1 4; do
+    for vw in 1 4; do
+        ES2_LANES=$lanes ES2_VHOST_WORKERS=$vw ES2_THREADS=1 \
+            ./target/release/repro --mq --fast > /tmp/es2_mq_serial.txt
+        ES2_LANES=$lanes ES2_VHOST_WORKERS=$vw \
+            ./target/release/repro --mq --fast > /tmp/es2_mq_default.txt
+        cmp /tmp/es2_mq_serial.txt /tmp/es2_mq_default.txt
+        grep -q "PASS" /tmp/es2_mq_serial.txt
+        if grep -q "FAIL" /tmp/es2_mq_serial.txt; then
+            echo "mq sweep reported a liveness failure (lanes=$lanes workers=$vw)" >&2
+            exit 1
+        fi
+    done
+done
+rm -f /tmp/es2_mq_serial.txt /tmp/es2_mq_default.txt
+
+# Single-queue/single-worker byte-identity: with the sharded pool forced
+# to one worker, the chaos report (whose params run one queue per VM)
+# must reproduce the pre-multi-queue golden prefix exactly — the
+# multi-queue machinery costs the legacy configuration zero bytes.
+ES2_VHOST_WORKERS=1 ./target/release/repro chaos --fast > /tmp/es2_mq_1q1w.txt
+head -n "$(wc -l < ci/golden_chaos_fast.txt)" /tmp/es2_mq_1q1w.txt \
+    | cmp ci/golden_chaos_fast.txt -
+rm -f /tmp/es2_mq_1q1w.txt
+
+# Non-fatal passthrough tripwire: in the committed full-window
+# BENCH_mq.json, queue passthrough must beat the single-worker mux on
+# rx p99 at the densest cell (the whole point of eliding the dispatch
+# hop). Drift here means the event path grew a hop back — worth a look,
+# not necessarily a failure.
+mux_p99=$(awk '
+    /"vms":/     { vms = $2 + 0 }
+    /"queues":/  { q = $2 + 0 }
+    /"workers":/ { w = $2 + 0 }
+    /"policy":/  { gsub(/[",]/, "", $2); pol = $2 }
+    /"rx_p99_us":/ && vms == 128 && q == 2 && w == 1 && pol == "mux" {
+        gsub(/[^0-9]/, "", $2); print $2; exit
+    }' BENCH_mq.json)
+pt_p99=$(awk '
+    /"vms":/    { vms = $2 + 0 }
+    /"policy":/ { gsub(/[",]/, "", $2); pol = $2 }
+    /"rx_p99_us":/ && vms == 128 && pol == "passthrough" {
+        gsub(/[^0-9]/, "", $2); print $2; exit
+    }' BENCH_mq.json)
+awk -v pt="$pt_p99" -v mux="$mux_p99" 'BEGIN {
+    if (pt + 0 > 0 && mux + 0 > 0 && pt + 0 <= mux + 0)
+        printf "mq passthrough p99 %s us <= 1-worker mux %s us at 128 VMs: ok\n", pt, mux
+    else
+        printf "WARNING: mq passthrough p99 %s us above 1-worker mux %s us at 128 VMs\n", pt, mux
+}'
