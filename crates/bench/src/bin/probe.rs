@@ -1,6 +1,9 @@
 //! Diagnostic probe: run one configuration and dump every counter.
+//!
+//! ```text
 //! Usage: probe [baseline|pi|pih|pihr] [tcp_send|udp_send|tcp_recv|udp_recv] [quota]
 //!        probe [baseline|pi|pihr] scale [num_vms]   (the --scale consolidation cell)
+//! ```
 
 use es2_core::EventPathConfig;
 use es2_hypervisor::ExitReason;

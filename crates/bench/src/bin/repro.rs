@@ -1,12 +1,13 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast] [--traced]
+//! repro [table1] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9] [chaos] [all] [--fast] [--traced] [--telemetered]
 //! repro --perf [--fast]
 //! repro --trace [--fast]
 //! repro --hostile [--fast]
 //! repro --migrate [--fast]
 //! repro --mq [--fast]
+//! repro --telemetry [--fast]
 //! ```
 //!
 //! `--fast` shortens warm-up/measurement windows (for CI smoke runs);
@@ -23,6 +24,16 @@
 //! without printing anything extra: the figures must come out
 //! byte-identical to an untraced invocation (the tracer's
 //! zero-perturbation contract, also diffed by `verify.sh`).
+//!
+//! `--telemetry` runs the windowed fleet-telemetry pipeline (1 ms
+//! sim-time windows, SLO burn-rate evaluation, causal breach
+//! attribution — DESIGN.md §14) over Baseline / PI / full ES2 across
+//! the chaos, migrate and mq topologies. JSON lands in
+//! `BENCH_telemetry.json` (`target/BENCH_telemetry_fast.json` with
+//! `--fast`), the merged counter + span Chrome trace in
+//! `target/BENCH_telemetry_chrome.json`. `--telemetered` mirrors
+//! `--traced`: telemetry hooks on for the regular figure runs, output
+//! byte-identical (cmp-gated in `verify.sh`).
 //!
 //! `--perf` runs the perf baseline instead: each figure sweep is timed
 //! serial vs parallel and the results land in `BENCH_sweeps.json`
@@ -178,6 +189,33 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--telemetry") {
+        let mut params = Params::default();
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json, chrome) = telemetry::telemetry_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 / ES2_LANES and the defaults. A fast
+        // run must not clobber the committed full-window
+        // BENCH_telemetry.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_telemetry_fast.json"
+        } else {
+            "BENCH_telemetry.json"
+        };
+        for (p, content) in [(path, &json), ("target/BENCH_telemetry_chrome.json", &chrome)] {
+            match std::fs::write(p, content) {
+                Ok(()) => eprintln!("wrote {p}"),
+                Err(e) => eprintln!("could not write {p}: {e}"),
+            }
+        }
+        dump_ev_profile();
+        return;
+    }
+
     if args.iter().any(|a| a == "--mq") {
         let mut params = Params::default();
         if fast {
@@ -250,8 +288,10 @@ fn main() {
 
     // --traced: flight recorder on, output unchanged — the figures must
     // be byte-identical to an untraced run (verify.sh checks).
+    // --telemetered: same contract for the windowed telemetry recorder.
     let mut params = Params {
         trace: args.iter().any(|a| a == "--traced"),
+        telemetry: args.iter().any(|a| a == "--telemetered"),
         ..Params::default()
     };
     if fast {

@@ -10,6 +10,7 @@ pub mod hostile;
 pub mod migrate;
 pub mod mq;
 pub mod perf;
+pub mod telemetry;
 pub mod trace;
 
 use es2_hypervisor::ExitReason;

@@ -135,9 +135,17 @@ pub fn mq_report(params: Params, seed: u64, fast: bool) -> (String, String) {
             "kicks",
             "ctx sw",
             "polling",
+            "dev irqs/vcpu",
+            "pend hwm/w",
             "liveness",
         ],
     );
+    let join_u64 = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     for c in &cells {
         let r = &c.result;
         t.row(&[
@@ -151,6 +159,8 @@ pub fn mq_report(params: Params, seed: u64, fast: bool) -> (String, String) {
             r.kicks_total.to_string(),
             r.host_ctx_switches.to_string(),
             r.polling_entries.to_string(),
+            join_u64(&r.device_irqs_per_vcpu),
+            join_u64(&r.vhost_pending_hwm_per_worker),
             if c.liveness_ok { "PASS" } else { "FAIL" }.to_string(),
         ]);
     }
@@ -229,6 +239,10 @@ pub fn mq_report(params: Params, seed: u64, fast: bool) -> (String, String) {
         json.push_str(&format!(
             "      \"device_irqs_per_vcpu\": {:?},\n",
             r.device_irqs_per_vcpu
+        ));
+        json.push_str(&format!(
+            "      \"vhost_pending_hwm_per_worker\": {:?},\n",
+            r.vhost_pending_hwm_per_worker
         ));
         json.push_str(&format!(
             "      \"events_simulated\": {},\n",

@@ -14,6 +14,10 @@
 //! * [`timeseries`] — sampled `(time, value)` series (Fig. 7's RTT trace),
 //! * [`span`] — the event-path flight recorder: per-interrupt causal
 //!   spans with stage-level latency attribution (`repro --trace`),
+//! * [`telemetry`] — the windowed telemetry pipeline: fixed-width
+//!   sim-time windows of per-VM/per-queue/per-worker gauges, the SLO
+//!   burn-rate engine and the causal annotation stream (`repro
+//!   --telemetry`),
 //! * [`table`] — plain-text table rendering for the repro binaries,
 //! * [`backpressure`] — the per-VM overload-control ledger (shed kicks,
 //!   deferred poll budget, quarantines) for the hostile-guest experiments.
@@ -26,6 +30,7 @@ pub mod modes;
 pub mod span;
 pub mod summary;
 pub mod table;
+pub mod telemetry;
 pub mod tig;
 pub mod timeseries;
 
@@ -36,5 +41,9 @@ pub use modes::{ModeAccounting, VmModeCounts};
 pub use span::{SpanNotes, SpanRecorder, SpanReport, Stage};
 pub use summary::Summary;
 pub use table::Table;
+pub use telemetry::{
+    Annotation, BurnAlert, SloBreach, SloMetric, SloSpec, TelemetryGeometry, TelemetryRecorder,
+    TelemetryReport,
+};
 pub use tig::TigAccount;
 pub use timeseries::TimeSeries;

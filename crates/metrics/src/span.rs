@@ -208,7 +208,7 @@ impl StageHists {
 
 /// The flight recorder: allocates correlation IDs, accumulates
 /// per-(vm, stage) duration histograms, span annotations, and a bounded
-/// event log. One recorder per [`Machine`]; dropped wholesale when
+/// event log. One recorder per testbed `Machine`; dropped wholesale when
 /// tracing is off, so the disabled cost is a single `Option` check.
 #[derive(Clone, Debug)]
 pub struct SpanRecorder {

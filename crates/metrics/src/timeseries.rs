@@ -67,6 +67,51 @@ impl TimeSeries {
         self.points.iter().filter(|&&(_, v)| v <= bound).count() as f64 / self.points.len() as f64
     }
 
+    /// Reduce the series over fixed-width windows anchored at
+    /// `SimTime::ZERO`: every sample with `t` in
+    /// `[k*width, (k+1)*width)` lands in window `k`, so a sample sitting
+    /// exactly on a boundary opens the *next* window. `f` folds each
+    /// non-empty window's values; empty windows are skipped (the output
+    /// is one point per occupied window, stamped at the window start).
+    pub fn window_reduce<F>(&self, width: es2_sim::SimDuration, mut f: F) -> TimeSeries
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        let width_ns = width.as_nanos().max(1);
+        let mut out = TimeSeries::new();
+        let mut vals: Vec<f64> = Vec::new();
+        let mut cur: Option<u64> = None;
+        for &(at, v) in &self.points {
+            let k = at.as_nanos() / width_ns;
+            if cur != Some(k) {
+                if let Some(prev) = cur.take() {
+                    out.push(window_start(prev, width_ns), f(&vals));
+                    vals.clear();
+                }
+                cur = Some(k);
+            }
+            vals.push(v);
+        }
+        if let Some(prev) = cur {
+            out.push(window_start(prev, width_ns), f(&vals));
+        }
+        out
+    }
+
+    /// `window_reduce` with the per-window reduction fixed to the
+    /// nearest-rank `q`-quantile (`q` in `[0, 1]`; `q = 0.99` gives the
+    /// windowed p99 a latency SLO wants).
+    pub fn window_quantile(&self, width: es2_sim::SimDuration, q: f64) -> TimeSeries {
+        self.window_reduce(width, |vals| quantile(vals, q))
+    }
+
+    /// `window_reduce` with the per-window reduction fixed to max.
+    pub fn window_max(&self, width: es2_sim::SimDuration) -> TimeSeries {
+        self.window_reduce(width, |vals| {
+            vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        })
+    }
+
     /// Downsample to at most `n` points by keeping the max of each chunk
     /// (preserves peaks, which is what latency traces care about).
     pub fn downsample_max(&self, n: usize) -> TimeSeries {
@@ -82,6 +127,25 @@ impl TimeSeries {
         }
         out
     }
+}
+
+/// Start instant of window `k` under `width_ns`-wide windows.
+fn window_start(k: u64, width_ns: u64) -> SimTime {
+    SimTime::from_nanos(k * width_ns)
+}
+
+/// Nearest-rank quantile of `vals` (`q` clamped to `[0, 1]`; NaN-free
+/// input assumed, as all series here are sim-derived). Empty input
+/// yields 0.0 so callers need no special case.
+pub fn quantile(vals: &[f64], q: f64) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = vals.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sim values are not NaN"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -139,5 +203,66 @@ mod tests {
         s.push(t(0), 1.0);
         let d = s.downsample_max(10);
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn window_reduce_empty_series() {
+        let s = TimeSeries::new();
+        let r = s.window_reduce(SimDuration::from_millis(1), |v| v.len() as f64);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn window_reduce_single_sample() {
+        let mut s = TimeSeries::new();
+        s.push(t(3), 7.0);
+        let r = s.window_reduce(SimDuration::from_millis(2), |v| v.iter().sum());
+        assert_eq!(r.points(), &[(t(2), 7.0)]);
+    }
+
+    #[test]
+    fn window_boundary_sample_opens_next_window() {
+        // Samples at 0.5 ms and 0.9 ms share window 0; the sample at
+        // exactly 1.0 ms sits on the boundary and must open window 1
+        // (half-open [k, k+1) windows).
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_nanos(500_000), 1.0);
+        s.push(SimTime::from_nanos(900_000), 2.0);
+        s.push(t(1), 4.0);
+        let r = s.window_reduce(SimDuration::from_millis(1), |v| v.iter().sum());
+        assert_eq!(r.points(), &[(t(0), 3.0), (t(1), 4.0)]);
+    }
+
+    #[test]
+    fn window_reduce_skips_empty_windows() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        s.push(t(5), 2.0);
+        let r = s.window_reduce(SimDuration::from_millis(1), |v| v.iter().sum());
+        assert_eq!(r.points(), &[(t(0), 1.0), (t(5), 2.0)]);
+    }
+
+    #[test]
+    fn window_quantile_and_max() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            // All in one 1 ms window: values 1..=100.
+            s.push(SimTime::from_nanos(i * 1_000), (i + 1) as f64);
+        }
+        let p99 = s.window_quantile(SimDuration::from_millis(1), 0.99);
+        assert_eq!(p99.points(), &[(t(0), 99.0)]);
+        let mx = s.window_max(SimDuration::from_millis(1));
+        assert_eq!(mx.points(), &[(t(0), 100.0)]);
+    }
+
+    #[test]
+    fn quantile_nearest_rank_edges() {
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[42.0], 0.0), 42.0);
+        assert_eq!(quantile(&[42.0], 1.0), 42.0);
+        let v = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert_eq!(quantile(&v, 0.75), 3.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
     }
 }

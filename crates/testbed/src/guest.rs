@@ -535,6 +535,10 @@ impl Machine {
         let us = self.now.saturating_since(pkt.created_at).as_micros_f64();
         self.vms[vmi].rx_latency.add(us);
         self.vms[vmi].rx_hist.record(us as u64);
+        if let Some(t) = self.tel.as_deref_mut() {
+            let lat_ns = self.now.saturating_since(pkt.created_at).as_nanos();
+            t.on_rx_latency(vm, self.now.as_nanos(), lat_ns);
+        }
         match pkt.kind {
             PacketKind::Data => {
                 let win = self.window_open;

@@ -73,6 +73,12 @@ impl Machine {
             }
         }
         self.vms[vmi].cur_handler[w as usize] = Some(h);
+        if self.tel.is_some() {
+            let pending = self.vms[vmi].worker.pending_on(w as usize) as u64;
+            if let Some(t) = self.tel.as_deref_mut() {
+                t.on_worker_turn(vm, w as usize, self.now.as_nanos(), pending);
+            }
+        }
         let qi = self.vms[vmi].pair_of(h);
         let is_tx = h.idx() % 2 == 0;
         // Guest trust boundary: validate any ring state the guest claims
@@ -138,6 +144,9 @@ impl Machine {
             es2_virtio::RingError::UsedOverflow { .. } => "quarantine:used-overflow",
         };
         self.tracer.record(self.now, label, vm as u64, h.0 as u64);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_quarantine(vm, self.now.as_nanos(), h.0 as u64);
+        }
         self.q.push(
             self.now + self.p.quarantine_reset_delay,
             Ev::GuestQueueReset { vm, h },
@@ -173,6 +182,9 @@ impl Machine {
                 // other handlers or sleeps.
                 let h = pair.tx_h;
                 self.vms[vmi].bp.budget_deferrals += 1;
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.on_budget_deferral(vm, self.now.as_nanos());
+                }
                 let wns = self
                     .p
                     .backpressure
@@ -206,6 +218,9 @@ impl Machine {
         if interrupt {
             let vector = self.vms[vmi].pairs[qi].tx_vector;
             self.deliver_device_msi(vm, vector);
+        }
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_tx(vm, self.now.as_nanos(), pkt.bytes as u64);
         }
         let fault = self.faults.on_packet();
         match self.link_to_ext.transmit_faulted(self.now, pkt.bytes, fault) {
@@ -270,6 +285,9 @@ impl Machine {
         let h = self.vms[vmi].cur_handler[w as usize].expect("RX completion without a turn");
         let qi = self.vms[vmi].pair_of(h);
         self.vms[vmi].pairs[qi].rx_turn += 1;
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_rx(vm, self.now.as_nanos(), qi, pkt.bytes as u64);
+        }
         let interrupt = self.vms[vmi].pairs[qi].rx.device_push_used(pkt);
         if interrupt {
             let vector = self.vms[vmi].pairs[qi].rx_vector;
@@ -314,6 +332,12 @@ impl Machine {
         if self.vms[vmi].pairs[qi].backlog.push(pkt) {
             let h = self.vms[vmi].pairs[qi].rx_h;
             let (w, _) = self.vms[vmi].worker.queue_work(h);
+            if self.tel.is_some() {
+                let pending = self.vms[vmi].worker.pending_on(w) as u64;
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.on_worker_pending(vm, w, self.now.as_nanos(), pending);
+                }
+            }
             let tid = self.vms[vmi].vhost_tids[w];
             self.wake_thread(tid);
         }

@@ -345,6 +345,11 @@ impl ShardedMachine {
                 (None, Some(b)) => base.spans = Some(b),
                 _ => {}
             }
+            match (&mut base.telemetry, p.telemetry) {
+                (Some(a), Some(b)) => a.absorb(b, offset),
+                (None, Some(b)) => base.telemetry = Some(b),
+                _ => {}
+            }
         }
         base
     }

@@ -43,6 +43,7 @@ pub mod migrate;
 pub mod params;
 pub mod results;
 mod spans;
+mod telemetry;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterResult, ClusterSpec, PlannedMove};

@@ -408,7 +408,7 @@ pub(crate) enum Ev {
     },
 }
 
-/// Display names for [`Ev`] kinds, indexed by [`Ev::kind_idx`]. Public
+/// Display names for `Ev` kinds, indexed by `Ev::kind_idx`. Public
 /// so the perf harness can label the `ev-profile` dispatch profile.
 pub const EV_KIND_NAMES: &[&str] = &[
     "Tick",
@@ -512,6 +512,11 @@ pub struct Machine {
     /// observational: `None` unless tracing is on, and every hook is
     /// gated on that so the untraced hot path pays one pointer test.
     pub(crate) spans: Option<Box<crate::spans::SpanTracker>>,
+    /// Windowed telemetry collector (`Params::telemetry`). Same
+    /// discipline as the flight recorder: `None` unless telemetry is
+    /// on, every hook gated on that, sim-time only, zero events, zero
+    /// RNG — telemetered runs are byte-identical to plain ones.
+    pub(crate) tel: Option<Box<crate::telemetry::TelemetryHooks>>,
     /// Breadcrumb ring for post-mortem dumps, enabled only under an
     /// active fault plan (the liveness checker dumps it on violation).
     pub(crate) tracer: es2_sim::trace::Tracer,
@@ -789,6 +794,18 @@ impl Machine {
                     topo.num_vms as usize,
                     num_workers,
                     params.trace_events as usize,
+                )))
+            } else {
+                None
+            },
+            tel: if params.telemetry {
+                let vcpu_counts = vec![topo.vcpus_per_vm; topo.num_vms as usize];
+                Some(Box::new(crate::telemetry::TelemetryHooks::new(
+                    &vcpu_counts,
+                    num_workers,
+                    num_pairs as usize,
+                    ExitReason::COUNT,
+                    params.telemetry_window.as_nanos().max(1),
                 )))
             } else {
                 None
@@ -1281,9 +1298,15 @@ impl Machine {
 
     fn on_sched_out(&mut self, tid: ThreadId) {
         self.save_active(tid);
+        if let Body::Vhost { vm, w } = self.threads[tid.idx()].body {
+            if let Some(t) = self.tel.as_deref_mut() {
+                t.on_worker_off_core(vm, w as usize, self.now.as_nanos());
+            }
+        }
         if let Body::Vcpu { vm, idx } = self.threads[tid.idx()].body {
             let now = self.now;
             let vcpu = &mut self.vms[vm as usize].vcpus[idx as usize];
+            let preempted_in_guest = vcpu.in_guest;
             if vcpu.in_guest {
                 // Preemption forces a world switch out of guest mode.
                 vcpu.vm_exit();
@@ -1291,6 +1314,12 @@ impl Machine {
                 vcpu.tig.leave_guest(now);
             }
             vcpu.sched_out();
+            if preempted_in_guest {
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.on_exit(vm, ExitReason::Other.idx(), now.as_nanos());
+                    t.on_leave_guest(vm, idx, now.as_nanos());
+                }
+            }
             if let Some(r) = &mut self.router {
                 r.on_sched_change(VcpuId::new(vm, idx), false);
             }
@@ -1327,7 +1356,10 @@ impl Machine {
                     self.vm_entry_and_dispatch(vm, idx);
                 }
             }
-            Body::Vhost { .. } => {
+            Body::Vhost { vm, w } => {
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.on_worker_on_core(vm, w as usize, self.now.as_nanos());
+                }
                 if self.threads[tid.idx()].seg.is_some() {
                     self.resume_saved(tid, true);
                 } else {
@@ -1401,6 +1433,10 @@ impl Machine {
         vcpu.exits.record(reason);
         vcpu.tig.leave_guest(now);
         self.vms[vm as usize].vctx[idx as usize].cache_cold = true;
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_exit(vm, reason.idx(), now.as_nanos());
+            t.on_leave_guest(vm, idx, now.as_nanos());
+        }
     }
 
     /// VM entry: transition to guest mode, then dispatch what the guest
@@ -1416,6 +1452,9 @@ impl Machine {
             vcpu.tig.enter_guest(now);
             injected
         };
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_enter_guest(vm, idx, now.as_nanos());
+        }
         // Emulated path: the entry injected at most one vector. Posted
         // path: the entry synchronized PIR→vIRR; take from the vAPIC.
         // Keyed off the vCPU's *current* path, not the static config: a
@@ -1490,6 +1529,9 @@ impl Machine {
                 crate::backpressure::Admission::DeferUntil(at_ns) => {
                     let vmi = vm as usize;
                     self.vms[vmi].bp.throttled_kicks += 1;
+                    if let Some(t) = self.tel.as_deref_mut() {
+                        t.on_throttled_kick(vm, self.now.as_nanos());
+                    }
                     if !self.vms[vmi].pairs[qi].throttle_armed[h.idx() % 2] {
                         self.vms[vmi].pairs[qi].throttle_armed[h.idx() % 2] = true;
                         self.q.push(
@@ -1574,6 +1616,13 @@ impl Machine {
             DeliveryOutcome::PiNotify | DeliveryOutcome::PiPosted => {
                 self.modes.note_posted(vm as usize);
             }
+        }
+        if let Some(t) = self.tel.as_deref_mut() {
+            let posted = matches!(
+                outcome,
+                DeliveryOutcome::PiNotify | DeliveryOutcome::PiPosted
+            );
+            t.on_msi(vm, self.now.as_nanos(), posted);
         }
         match outcome {
             DeliveryOutcome::EmulatedKick => {
@@ -1662,6 +1711,11 @@ impl Machine {
             // migrate if another sibling comes online sooner.
             self.vms[vm as usize].parked_irqs.push((target, vector));
             self.vms[vm as usize].parked_count += 1;
+        }
+        if redirected {
+            if let Some(t) = self.tel.as_deref_mut() {
+                t.on_msi_redirected(vm, self.now.as_nanos());
+            }
         }
         if self.spans.is_some() {
             self.trace_msi_raise(vm, target, vector, redirected, watchdog);
@@ -1869,6 +1923,9 @@ impl Machine {
             .exits
             .record(ExitReason::ApicAccess);
         self.vms[vmi].vctx[idx as usize].cache_cold = true;
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_exit(vm, ExitReason::ApicAccess.idx(), self.now.as_nanos());
+        }
         self.tracer
             .record(self.now, "eoi-storm", vm as u64, idx as u64);
         let tid = self.vms[vmi].vcpu_tids[idx as usize];
@@ -1974,6 +2031,9 @@ impl Machine {
                 self.vms[vmi].watchdog_rekicks += 1;
                 self.tracer
                     .record(self.now, "wd-rekick", vm as u64, tx_h.0 as u64);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.annotate(self.now.as_nanos(), vm, "wd-rekick", tx_h.0 as u64);
+                }
                 self.trace_kick_signal(vm, tx_h, crate::spans::KickOrigin::Watchdog);
                 let (w, _) = self.vms[vmi].worker.queue_work(tx_h);
                 let tid = self.vms[vmi].vhost_tids[w];
@@ -1991,6 +2051,9 @@ impl Machine {
                 self.vms[vmi].watchdog_rekicks += 1;
                 self.tracer
                     .record(self.now, "wd-rekick", vm as u64, rx_h.0 as u64);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.annotate(self.now.as_nanos(), vm, "wd-rekick", rx_h.0 as u64);
+                }
                 self.trace_kick_signal(vm, rx_h, crate::spans::KickOrigin::Watchdog);
                 let (w, _) = self.vms[vmi].worker.queue_work(rx_h);
                 let tid = self.vms[vmi].vhost_tids[w];
@@ -2008,6 +2071,9 @@ impl Machine {
                 let vector = self.vms[vmi].pairs[qi].rx_vector;
                 self.tracer
                     .record(self.now, "wd-reraise", vm as u64, vector as u64);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.annotate(self.now.as_nanos(), vm, "wd-reraise", vector as u64);
+                }
                 self.route_and_deliver_msi_from(vm, vector, true);
             }
             // Lost TX-completion interrupt: the guest blocked on a full
@@ -2022,6 +2088,9 @@ impl Machine {
                 let vector = self.vms[vmi].pairs[qi].tx_vector;
                 self.tracer
                     .record(self.now, "wd-reraise", vm as u64, vector as u64);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.annotate(self.now.as_nanos(), vm, "wd-reraise", vector as u64);
+                }
                 self.route_and_deliver_msi_from(vm, vector, true);
             }
         }
@@ -2061,6 +2130,9 @@ impl Machine {
         self.vms[vmi].bp.resets += 1;
         self.tracer
             .record(self.now, "queue-reset", vm as u64, h.0 as u64);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.on_reset(vm, self.now.as_nanos(), h.0 as u64);
+        }
         if is_tx {
             // Re-initialization mirrors construction: TX completions are
             // reclaimed in the xmit path, interrupts armed only when the
@@ -2107,6 +2179,9 @@ impl Machine {
                 self.modes.note_degradation(vmi);
                 self.tracer
                     .record(self.now, "pi-degrade", vmi as u64, idx as u64);
+                if let Some(t) = self.tel.as_deref_mut() {
+                    t.annotate(self.now.as_nanos(), vmi as u32, "pi-degrade", idx as u64);
+                }
                 if let Some(tr) = self.spans.as_deref_mut() {
                     tr.on_degraded(vmi as u32, idx as u32, self.now.as_nanos());
                 }

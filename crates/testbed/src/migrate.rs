@@ -11,10 +11,10 @@
 //!    thread are descheduled ([`es2_sched::CfsScheduler::deactivate`] —
 //!    running vCPUs take a migration-forced VM exit on the way out, so
 //!    the source router marks them offline exactly as live Linux would
-//!    see `sched_out` notifier fires). The whole [`VmState`] — virtio
+//!    see `sched_out` notifier fires). The whole `VmState` — virtio
 //!    rings, NIC backlog, parked IRQs, PIR/vIRR posted-interrupt state,
 //!    hybrid-handler mode, quarantine and backpressure ledgers — plus
-//!    every thread's saved segment is packed into a [`VmSnapshot`]. The
+//!    every thread's saved segment is packed into a `VmSnapshot`. The
 //!    vacated slot becomes a fresh dormant (HLT-idle) VM.
 //! 2. **Copy** (wire, `[t_p, t_p + D)`): the snapshot crosses the lane
 //!    mailbox with arrival time `t_p + D`, where the blackout
@@ -25,7 +25,7 @@
 //!    slot (same global index on every host), threads that were active
 //!    wake (rebuilding the **target** router's online list through the
 //!    ordinary `sched_in` notifier path), saved segments resume, and the
-//!    stale-state scan ([`Machine::watchdog_scan_vm`]) re-kicks stuck
+//!    stale-state scan (`Machine::watchdog_scan_vm`) re-kicks stuck
 //!    handlers and re-raises lost MSIs over the reliable watchdog path —
 //!    so an MSI that was in flight on the source when the VM left is
 //!    re-issued against the target's own online/offline lists.
@@ -42,7 +42,7 @@
 //! the same blackout, and resumes the VM locally — a rollback, not a
 //! loss. **Host crash**: the lane freezes at the crash instant; victims
 //! cold-restart on surviving hosts with fresh state (see
-//! [`Machine::on_cold_restart`]).
+//! `Machine::on_cold_restart`).
 
 use std::collections::VecDeque;
 
@@ -668,6 +668,14 @@ impl Machine {
         let snap = self.pause_vm(vm);
         let blackout = snap.blackout;
         let at = self.now + blackout;
+        if let Some(t) = self.tel.as_deref_mut() {
+            let kind = if planned.abort {
+                "mig-abort"
+            } else {
+                "migrate-start"
+            };
+            t.annotate(self.now.as_nanos(), vm, kind, blackout.as_nanos());
+        }
         if planned.abort {
             // Mid-copy failure: the move rolls back. The source keeps
             // the snapshot, rides out the same blackout locally (pause +
@@ -690,6 +698,9 @@ impl Machine {
         let snap = self.mig_mut().staged[vm as usize]
             .take()
             .expect("MigrateArrive without a staged snapshot");
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.annotate(self.now.as_nanos(), vm, "migrate-arrive", 0);
+        }
         self.resume_vm(vm, snap);
     }
 
@@ -754,6 +765,9 @@ impl Machine {
             m.ledger.restarts += 1;
         }
         self.tracer.record(self.now, "cold-restart", vm as u64, 0);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.annotate(self.now.as_nanos(), vm, "cold-restart", 0);
+        }
 
         // Boot the guest exactly like bootstrap does: staggered
         // vruntimes, woken vCPUs, external kick-off, recovery chains.

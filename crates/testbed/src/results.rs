@@ -87,6 +87,12 @@ pub struct RunResult {
     /// Device interrupts (TX-clean + RX, no timers) handled per vCPU of
     /// the tested VM — evidence of per-queue MSI steering.
     pub device_irqs_per_vcpu: Vec<u64>,
+    /// Deepest backlog each of the tested VM's vhost workers ever
+    /// carried (lifetime high-water mark, index = worker).
+    pub vhost_pending_hwm_per_worker: Vec<u64>,
+    /// Windowed telemetry report (`Some` iff `Params::telemetry` was
+    /// set): per-window gauges, causal annotations, and the SLO surface.
+    pub telemetry: Option<es2_metrics::TelemetryReport>,
 }
 
 impl RunResult {
@@ -120,6 +126,7 @@ impl RunResult {
 
     pub(crate) fn collect(mut m: Machine) -> RunResult {
         let spans = m.spans.take().map(|tr| tr.finish());
+        let telemetry = m.tel.take().map(|t| t.finish(m.now.as_nanos()));
         let vm0 = &m.vms[0];
         let mut exits = ExitStats::new();
         let mut tig_sum = 0.0;
@@ -251,6 +258,10 @@ impl RunResult {
             quarantines_total,
             queue_resets_total,
             device_irqs_per_vcpu: vm0.device_irqs_per_vcpu.clone(),
+            vhost_pending_hwm_per_worker: (0..vm0.worker.num_workers())
+                .map(|w| vm0.worker.pending_hwm_on(w) as u64)
+                .collect(),
+            telemetry,
         }
     }
 }

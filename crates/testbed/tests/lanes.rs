@@ -173,6 +173,64 @@ fn scale_cell_identity_and_timed_path() {
 }
 
 #[test]
+fn telemetry_merge_is_executor_invariant() {
+    // The windowed telemetry report merges across lane shards exactly
+    // like the rest of RunResult: at every lane count the parallel
+    // executor's merged report must be bitwise identical to the serial
+    // oracle's (window grids, per-worker maxima, and the annotation
+    // stream included). 8 VMs so an 8-lane split is a real partition.
+    let mut params = tiny_params();
+    params.telemetry = true;
+    for seed in [13u64, 404] {
+        let mut spec = experiments::scale_active_spec(8, params, seed);
+        spec.faults = experiments::chaos_plan();
+        for lanes in [1usize, 4, 8] {
+            let serial = spec.sharded_with(lanes).run_serial();
+            assert!(
+                serial.telemetry.is_some(),
+                "telemetry-enabled run produced no report ({lanes} lanes)"
+            );
+            for threads in [2usize, 4, 8] {
+                let par = spec.sharded_with(lanes).run_parallel(threads);
+                assert_eq!(
+                    digest(&serial),
+                    digest(&par),
+                    "telemetry lane merge diverged (seed {seed}, {lanes} lanes, {threads} threads)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_lane_parallel_results() {
+    // Same contract as the flight recorder: the telemetry hooks only
+    // observe. A telemetry-enabled lane-parallel run must agree with
+    // the plain run on every simulation-determined field once the
+    // report itself is stripped.
+    let params = tiny_params();
+    let mut instrumented_params = params;
+    instrumented_params.telemetry = true;
+    let seed = 23;
+    for lanes in [2usize, 4] {
+        let mut spec = experiments::scale_active_spec(8, params, seed);
+        spec.faults = experiments::chaos_plan();
+        let plain = spec.sharded_with(lanes).run_parallel(lanes);
+        let mut inst_spec = experiments::scale_active_spec(8, instrumented_params, seed);
+        inst_spec.faults = experiments::chaos_plan();
+        let mut instrumented = inst_spec.sharded_with(lanes).run_parallel(lanes);
+        assert!(instrumented.telemetry.is_some());
+        instrumented.telemetry = None;
+        assert!(plain.telemetry.is_none());
+        assert_eq!(
+            digest(&plain),
+            digest(&instrumented),
+            "telemetry hooks perturbed the lane-parallel simulation ({lanes} lanes)"
+        );
+    }
+}
+
+#[test]
 fn run_checked_merges_lane_liveness() {
     let spec = experiments::scale_active_spec(8, tiny_params(), 7);
     let (_, live) = spec.sharded_with(4).run_checked();

@@ -35,6 +35,9 @@ pub struct VhostWorker {
     quarantined: Vec<bool>,
     wakeups: u64,
     dispatches: u64,
+    /// Deepest the work list has ever been — the backlog high-water
+    /// mark. Purely a ledger: nothing in the dispatch logic reads it.
+    pending_hwm: usize,
     /// Kicks naming a handler id that was never registered — a
     /// guest-controlled value the worker must survive, not index with.
     rejected_kicks: u64,
@@ -95,6 +98,7 @@ impl VhostWorker {
         let was_idle = self.work.is_empty();
         *queued = true;
         self.work.push_back(h);
+        self.pending_hwm = self.pending_hwm.max(self.work.len());
         if was_idle {
             self.wakeups += 1;
         }
@@ -177,6 +181,11 @@ impl VhostWorker {
     /// Handler invocations dispatched.
     pub fn dispatch_count(&self) -> u64 {
         self.dispatches
+    }
+
+    /// Deepest the work list has ever been (backlog high-water mark).
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_hwm
     }
 
     /// Attach a flight-recorder correlation ID to `h`'s pending kick.
@@ -402,6 +411,11 @@ impl VhostPool {
     /// Queued handlers on worker `w`.
     pub fn pending_on(&self, w: usize) -> usize {
         self.workers[w].pending()
+    }
+
+    /// Worker `w`'s backlog high-water mark.
+    pub fn pending_hwm_on(&self, w: usize) -> usize {
+        self.workers[w].pending_high_water()
     }
 
     /// True if `h` is queued (on its assigned worker).
@@ -776,6 +790,26 @@ mod tests {
         }
         assert!(!pool.has_work());
         assert_eq!(pool.pending_total(), 0);
+    }
+
+    #[test]
+    fn pending_high_water_tracks_deepest_backlog() {
+        let mut w = VhostWorker::new();
+        let a = w.register_handler();
+        let b = w.register_handler();
+        let c = w.register_handler();
+        assert_eq!(w.pending_high_water(), 0);
+        w.queue_work(a);
+        w.queue_work(b);
+        assert_eq!(w.pending_high_water(), 2);
+        w.next_work();
+        w.next_work();
+        assert_eq!(w.pending_high_water(), 2, "draining never lowers it");
+        w.queue_work(c);
+        assert_eq!(w.pending_high_water(), 2, "shallower refill keeps the mark");
+        w.queue_work(a);
+        w.queue_work(b);
+        assert_eq!(w.pending_high_water(), 3, "deeper backlog raises it");
     }
 
     #[test]
