@@ -103,6 +103,13 @@ impl Json {
         all.into_iter().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
     }
 
+    /// Minimum over every numeric occurrence of `key` in the document.
+    fn min_num(&self, key: &str) -> Option<f64> {
+        let mut all = Vec::new();
+        self.collect_nums(key, &mut all);
+        all.into_iter().fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
     /// Depth-first search for the first occurrence of `key` anywhere in
     /// the document, returning its numeric value.
     fn find_num(&self, key: &str) -> Option<f64> {
@@ -453,6 +460,51 @@ const CHECKS: &[Check] = &[
         slack: 0.0,
         severity: Severity::Fatal,
         extract: |f| attributed_chaos_breaches(&f.doc("BENCH_telemetry.json")?),
+    },
+    Check {
+        // The conservation invariant: after the full control-plane
+        // fault diet (placement failures, stuck boots, a host crash,
+        // an aborted migration, departures), not one slot, core, vhost
+        // worker, ring entry or vector may leak — in any config cell.
+        file: "BENCH_churn.json",
+        metric: "orphaned resources after churn fault diet",
+        dir: Dir::AtMost,
+        target: 0.0,
+        slack: 0.0,
+        severity: Severity::Fatal,
+        extract: |f| f.doc("BENCH_churn.json")?.max_num("orphans"),
+    },
+    Check {
+        file: "BENCH_churn.json",
+        metric: "typed control-plane errors during churn",
+        dir: Dir::AtMost,
+        target: 0.0,
+        slack: 0.0,
+        severity: Severity::Fatal,
+        extract: |f| f.doc("BENCH_churn.json")?.max_num("ctl_errors"),
+    },
+    Check {
+        // Transient rejections (overload, stalled boots) must be
+        // recoverable: at least 40% of arrivals that entered the retry
+        // queue eventually admit, in every config cell.
+        file: "BENCH_churn.json",
+        metric: "worst churn retry-success ratio",
+        dir: Dir::AtLeast,
+        target: 0.4,
+        slack: 0.0,
+        severity: Severity::Fatal,
+        extract: |f| f.doc("BENCH_churn.json")?.min_num("retry_success_ratio"),
+    },
+    Check {
+        // Admission-to-boot p99 stays bounded even under brownout
+        // deferrals and backoff retries (committed value ~18.7 ms).
+        file: "BENCH_churn.json",
+        metric: "worst churn boot p99 (us)",
+        dir: Dir::AtMost,
+        target: 25_000.0,
+        slack: 0.0,
+        severity: Severity::Fatal,
+        extract: |f| f.doc("BENCH_churn.json")?.max_num("boot_p99_us"),
     },
     Check {
         // Wall-clock tripwire: the fresh fast-mode sweep (written by

@@ -6,6 +6,7 @@
 //! repro --trace [--fast]
 //! repro --hostile [--fast]
 //! repro --migrate [--fast]
+//! repro --churn [--fast]
 //! repro --mq [--fast]
 //! repro --telemetry [--fast]
 //! ```
@@ -48,6 +49,15 @@
 //! host's event-path p99, plus crash-evacuation and abort-rollback
 //! recovery cells. JSON lands in `BENCH_migrate.json`
 //! (`target/BENCH_migrate_fast.json` with `--fast`).
+//!
+//! `--churn` runs the tenant-churn control-plane sweep: a cell of
+//! hosts carries a static fleet while a heavy-tailed arrival stream
+//! admits, boots and departs churn tenants under the full
+//! control-plane fault diet (placement failures, stuck boots, a host
+//! crash, an aborted migration); the report compares admission rate,
+//! retry-success ratio, boot p99 and the post-churn rx p99 against a
+//! static fleet across Baseline / PI / full ES2. JSON lands in
+//! `BENCH_churn.json` (`target/BENCH_churn_fast.json` with `--fast`).
 //!
 //! `--hostile` runs the hostile-guest blast-radius sweep: one VM runs
 //! ring corruption + doorbell/EOI storms against a backpressured host
@@ -180,6 +190,34 @@ fn main() {
             "target/BENCH_migrate_fast.json"
         } else {
             "BENCH_migrate.json"
+        };
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        dump_ev_profile();
+        return;
+    }
+
+    if args.iter().any(|a| a == "--churn") {
+        let mut params = Params {
+            trace: args.iter().any(|a| a == "--traced"),
+            ..Params::default()
+        };
+        if fast {
+            params.warmup = SimDuration::from_millis(50);
+            params.measure = SimDuration::from_millis(200);
+        }
+        let (report, json) = churn::churn_report(params, SEED, fast);
+        // Only the deterministic report goes to stdout: verify.sh diffs
+        // it between ES2_THREADS=1 / ES2_LANES and the defaults. A fast
+        // run must not clobber the committed full-window
+        // BENCH_churn.json.
+        print!("{report}");
+        let path = if fast {
+            "target/BENCH_churn_fast.json"
+        } else {
+            "BENCH_churn.json"
         };
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("wrote {path}"),

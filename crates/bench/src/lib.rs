@@ -6,6 +6,7 @@
 //! values the paper reports. The `repro` binary drives them; integration
 //! tests assert the *shapes* (who wins, by what factor).
 
+pub mod churn;
 pub mod hostile;
 pub mod migrate;
 pub mod mq;

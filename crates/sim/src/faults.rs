@@ -206,6 +206,29 @@ pub struct FaultPlan {
     /// disables) — outranks the probabilistic draw for that move so tests
     /// can pin the rollback to an exact move.
     pub migration_abort_nth: u64,
+
+    // ---- churn control-plane family ----
+    // These classes address control-plane *operations* (placements and
+    // boots of churn arrivals), not VMs or hosts, so like the host family
+    // they are decided once at cluster construction by the cluster-level
+    // injector and always reach per-host machine plans zeroed (see
+    // [`FaultPlan::for_single_host`]).
+    /// P(a placement attempt fails transiently at the control plane even
+    /// though capacity exists), drawn once per attempt from the churn
+    /// fault stream. The arrival re-enters the retry queue.
+    pub churn_place_fail_p: f64,
+    /// Deterministically fail the N-th placement attempt (1-based; 0
+    /// disables) — outranks the probabilistic draw for that attempt so
+    /// tests can pin a transient rejection to an exact arrival.
+    pub churn_place_fail_nth: u64,
+    /// P(a boot sticks mid-handshake: vCPUs come up but the virtio
+    /// feature negotiation never completes), drawn once per boot from the
+    /// churn fault stream. The control plane times the boot out, tears
+    /// the slot down, and re-enters the arrival into the retry queue.
+    pub churn_boot_stall_p: f64,
+    /// Deterministically stall the N-th boot (1-based; 0 disables) —
+    /// outranks the probabilistic draw for that boot.
+    pub churn_boot_stall_nth: u64,
 }
 
 impl FaultPlan {
@@ -246,6 +269,10 @@ impl FaultPlan {
             host_degraded_storm_period: SimDuration::ZERO,
             migration_abort_p: 0.0,
             migration_abort_nth: 0,
+            churn_place_fail_p: 0.0,
+            churn_place_fail_nth: 0,
+            churn_boot_stall_p: 0.0,
+            churn_boot_stall_nth: 0,
         }
     }
 
@@ -263,6 +290,17 @@ impl FaultPlan {
             || self.pi_unavailable_mask != 0
             || self.hostile_active()
             || self.host_fault_active()
+            || self.churn_fault_active()
+    }
+
+    /// Whether any churn control-plane fault class is enabled. Existing
+    /// chaos/hostile/host plans leave the whole family zero, so their
+    /// runs and reports are untouched by the churn machinery.
+    pub fn churn_fault_active(&self) -> bool {
+        self.churn_place_fail_p > 0.0
+            || self.churn_place_fail_nth > 0
+            || self.churn_boot_stall_p > 0.0
+            || self.churn_boot_stall_nth > 0
     }
 
     /// Whether any host-fault class is enabled. Single-host plans (all
@@ -312,6 +350,10 @@ impl FaultPlan {
         p.host_degraded_storm_period = SimDuration::ZERO;
         p.migration_abort_p = 0.0;
         p.migration_abort_nth = 0;
+        p.churn_place_fail_p = 0.0;
+        p.churn_place_fail_nth = 0;
+        p.churn_boot_stall_p = 0.0;
+        p.churn_boot_stall_nth = 0;
         p
     }
 
@@ -398,6 +440,10 @@ pub struct FaultStats {
     pub host_crashes: u64,
     /// Planned live migrations aborted mid-copy.
     pub migration_aborts: u64,
+    /// Churn placement attempts failed transiently at the control plane.
+    pub churn_place_fails: u64,
+    /// Churn boots stuck mid-handshake (timed out and rolled back).
+    pub churn_boot_stalls: u64,
 }
 
 impl FaultStats {
@@ -418,6 +464,8 @@ impl FaultStats {
             + self.storm_eois
             + self.host_crashes
             + self.migration_aborts
+            + self.churn_place_fails
+            + self.churn_boot_stalls
     }
 
     /// Accumulate another counter set (used when merging per-lane shards
@@ -438,6 +486,8 @@ impl FaultStats {
         self.storm_eois += o.storm_eois;
         self.host_crashes += o.host_crashes;
         self.migration_aborts += o.migration_aborts;
+        self.churn_place_fails += o.churn_place_fails;
+        self.churn_boot_stalls += o.churn_boot_stalls;
     }
 }
 
@@ -456,12 +506,19 @@ pub struct FaultInjector {
     hostile_eoi_rng: SimRng,
     host_rng: SimRng,
     mig_rng: SimRng,
+    churn_arrival_rng: SimRng,
+    churn_retry_rng: SimRng,
+    churn_fault_rng: SimRng,
     /// Kick exits seen from the hostile VM (drives the deterministic
     /// corrupt-at-Nth-kick trigger).
     hostile_kicks_seen: u64,
     /// Planned migrations seen (drives the deterministic abort-the-Nth
     /// trigger).
     moves_planned: u64,
+    /// Churn placement attempts seen (drives fail-the-Nth).
+    placements_tried: u64,
+    /// Churn boots started (drives stall-the-Nth).
+    boots_started: u64,
     stats: FaultStats,
 }
 
@@ -474,9 +531,9 @@ impl FaultInjector {
         let active = plan.is_active();
         // Fork order is part of the determinism contract: the hostile
         // streams fork *after* every pre-existing stream so adding them
-        // left the seeds of the older injection points unchanged, and the
+        // left the seeds of the older injection points unchanged, the
         // host-fault streams fork after the hostile pair for the same
-        // reason.
+        // reason, and the three churn streams fork after the host pair.
         FaultInjector {
             plan,
             active,
@@ -489,8 +546,13 @@ impl FaultInjector {
             hostile_eoi_rng: root.fork(),
             host_rng: root.fork(),
             mig_rng: root.fork(),
+            churn_arrival_rng: root.fork(),
+            churn_retry_rng: root.fork(),
+            churn_fault_rng: root.fork(),
             hostile_kicks_seen: 0,
             moves_planned: 0,
+            placements_tried: 0,
+            boots_started: 0,
             stats: FaultStats::default(),
         }
     }
@@ -698,6 +760,103 @@ impl FaultInjector {
         }
         false
     }
+
+    /// Shape of the bounded-Pareto churn draws: `α = 2` gives the
+    /// heavy tail (finite mean, infinite variance before truncation)
+    /// that tenant inter-arrival and lifetime traces show.
+    const CHURN_PARETO_ALPHA: f64 = 2.0;
+    /// Upper truncation of the churn tail, as a multiple of `scale` —
+    /// keeps a single draw from swallowing the whole run.
+    const CHURN_PARETO_CAP: u64 = 32;
+
+    /// One bounded-Pareto draw with minimum `scale / 2` (so the
+    /// untruncated mean is `scale`) capped at `32 × scale`. Inverse
+    /// transform on one uniform: exactly one RNG draw per call.
+    fn pareto_ns(rng: &mut SimRng, scale_ns: u64) -> u64 {
+        let xm = (scale_ns / 2).max(1) as f64;
+        let cap = (scale_ns * Self::CHURN_PARETO_CAP).max(1) as f64;
+        let alpha = Self::CHURN_PARETO_ALPHA;
+        let u = rng.gen_f64();
+        // Bounded Pareto inverse CDF: x = xm / (1 − u·(1 − (xm/cap)^α))^(1/α).
+        let tail = 1.0 - u * (1.0 - (xm / cap).powf(alpha));
+        (xm / tail.powf(1.0 / alpha)).min(cap) as u64
+    }
+
+    /// Draw the heavy-tailed gap to the next churn arrival. Called only
+    /// when churn is enabled (the churn compiler draws the whole arrival
+    /// schedule upfront, in arrival order), so a churn-disabled run
+    /// performs zero draws from the churn streams by never calling this.
+    pub fn churn_interarrival(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(Self::pareto_ns(&mut self.churn_arrival_rng, mean.as_nanos()))
+    }
+
+    /// Draw the heavy-tailed resident lifetime of one churn arrival,
+    /// from the same stream as the inter-arrival gaps (the compiler
+    /// alternates gap/lifetime draws in a fixed order).
+    pub fn churn_lifetime(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(Self::pareto_ns(&mut self.churn_arrival_rng, mean.as_nanos()))
+    }
+
+    /// Deterministic jitter added to one retry backoff: uniform in
+    /// `[0, window]`, one draw from the dedicated retry stream per
+    /// scheduled retry (retries are scheduled in chronological order, so
+    /// the sequence depends only on the retry schedule).
+    pub fn churn_retry_jitter(&mut self, window: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(self.churn_retry_rng.gen_range(window.as_nanos() + 1))
+    }
+
+    /// Decide whether the next churn placement attempt fails transiently
+    /// at the control plane. Deterministic fail-the-Nth outranks (and
+    /// suppresses the draw for) that attempt, mirroring
+    /// [`on_migration_planned`](Self::on_migration_planned).
+    pub fn on_churn_placement(&mut self) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.placements_tried += 1;
+        if self.plan.churn_place_fail_nth > 0 {
+            if self.placements_tried == self.plan.churn_place_fail_nth {
+                self.stats.churn_place_fails += 1;
+                return true;
+            }
+            if self.plan.churn_place_fail_p <= 0.0 {
+                return false;
+            }
+        }
+        if self.plan.churn_place_fail_p > 0.0
+            && self.churn_fault_rng.gen_bool(self.plan.churn_place_fail_p)
+        {
+            self.stats.churn_place_fails += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Decide whether the next churn boot sticks mid-handshake (partial
+    /// boot → timeout + rollback). Deterministic stall-the-Nth outranks
+    /// and suppresses the draw for that boot.
+    pub fn on_churn_boot(&mut self) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.boots_started += 1;
+        if self.plan.churn_boot_stall_nth > 0 {
+            if self.boots_started == self.plan.churn_boot_stall_nth {
+                self.stats.churn_boot_stalls += 1;
+                return true;
+            }
+            if self.plan.churn_boot_stall_p <= 0.0 {
+                return false;
+            }
+        }
+        if self.plan.churn_boot_stall_p > 0.0
+            && self.churn_fault_rng.gen_bool(self.plan.churn_boot_stall_p)
+        {
+            self.stats.churn_boot_stalls += 1;
+            return true;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -813,6 +972,8 @@ mod tests {
             assert_eq!(inj.on_hostile_eoi(0), 0);
             assert_eq!(inj.on_host_admission(0), None);
             assert!(!inj.on_migration_planned());
+            assert!(!inj.on_churn_placement());
+            assert!(!inj.on_churn_boot());
         }
         // No RNG state advanced: the clean path is draw-free.
         assert_eq!(before, format!("{:?}", inj.kick_rng));
@@ -1120,6 +1281,132 @@ mod tests {
             assert!(at >= SimDuration::from_millis(100) && at <= SimDuration::from_millis(110));
         }
         assert_eq!(inj.stats().host_crashes, 32);
+    }
+
+    #[test]
+    fn churn_fields_activate_the_plan() {
+        assert!(!chaos_plan().churn_fault_active(), "chaos plan must stay churn-free");
+        assert!(!hostile_plan().churn_fault_active());
+        for plan in [
+            FaultPlan {
+                churn_place_fail_p: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                churn_place_fail_nth: 2,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                churn_boot_stall_p: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                churn_boot_stall_nth: 1,
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(plan.churn_fault_active());
+            assert!(plan.is_active());
+        }
+    }
+
+    #[test]
+    fn for_single_host_zeroes_the_churn_family() {
+        let plan = FaultPlan {
+            churn_place_fail_p: 0.2,
+            churn_place_fail_nth: 3,
+            churn_boot_stall_p: 0.1,
+            churn_boot_stall_nth: 1,
+            kick_drop_p: 0.05,
+            ..FaultPlan::none()
+        };
+        let host = plan.for_single_host(0);
+        assert!(!host.churn_fault_active(), "churn family never reaches a machine");
+        assert_eq!(host.kick_drop_p, 0.05, "VM-level classes pass through");
+    }
+
+    #[test]
+    fn deterministic_churn_triggers_draw_nothing() {
+        let plan = FaultPlan {
+            churn_place_fail_nth: 2,
+            churn_boot_stall_nth: 3,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 11);
+        let before = format!("{:?}", inj.churn_fault_rng);
+        assert!(!inj.on_churn_placement());
+        assert!(inj.on_churn_placement(), "second placement attempt fails");
+        assert!(!inj.on_churn_placement());
+        assert!(!inj.on_churn_boot());
+        assert!(!inj.on_churn_boot());
+        assert!(inj.on_churn_boot(), "third boot stalls");
+        assert!(!inj.on_churn_boot());
+        assert_eq!(before, format!("{:?}", inj.churn_fault_rng));
+        assert_eq!(inj.stats().churn_place_fails, 1);
+        assert_eq!(inj.stats().churn_boot_stalls, 1);
+    }
+
+    #[test]
+    fn churn_streams_are_isolated_from_existing_points() {
+        // Enabling the churn family must not shift any pre-existing
+        // stream: the three new forks happen after every older stream.
+        let mut plain = FaultInjector::new(chaos_plan(), 13);
+        let mut with_churn = FaultInjector::new(
+            FaultPlan {
+                churn_place_fail_p: 0.5,
+                churn_boot_stall_p: 0.25,
+                ..chaos_plan()
+            },
+            13,
+        );
+        for _ in 0..64 {
+            with_churn.churn_interarrival(SimDuration::from_millis(5));
+            with_churn.churn_lifetime(SimDuration::from_millis(20));
+            with_churn.churn_retry_jitter(SimDuration::from_micros(100));
+            with_churn.on_churn_placement();
+            with_churn.on_churn_boot();
+        }
+        for h in 0..8 {
+            assert_eq!(plain.on_host_admission(h), with_churn.on_host_admission(h));
+        }
+        for _ in 0..500 {
+            assert_eq!(plain.on_guest_kick(), with_churn.on_guest_kick());
+            assert_eq!(plain.on_packet(), with_churn.on_packet());
+            assert_eq!(plain.on_msi(), with_churn.on_msi());
+            assert_eq!(plain.on_storm_tick(4), with_churn.on_storm_tick(4));
+        }
+    }
+
+    #[test]
+    fn churn_draws_are_heavy_tailed_and_bounded() {
+        let mut inj = FaultInjector::new(
+            FaultPlan {
+                churn_place_fail_p: 0.01,
+                ..FaultPlan::none()
+            },
+            21,
+        );
+        let mean = SimDuration::from_millis(2);
+        let draws: Vec<SimDuration> = (0..20_000).map(|_| inj.churn_interarrival(mean)).collect();
+        let lo = mean.as_nanos() / 2;
+        let hi = mean.as_nanos() * 32;
+        for d in &draws {
+            assert!(d.as_nanos() >= lo && d.as_nanos() <= hi, "draw {d:?} out of bounds");
+        }
+        let avg = draws.iter().map(|d| d.as_nanos()).sum::<u64>() / draws.len() as u64;
+        assert!(
+            (avg as f64) > 0.6 * mean.as_nanos() as f64
+                && (avg as f64) < 1.4 * mean.as_nanos() as f64,
+            "empirical mean {avg} too far from scale {}",
+            mean.as_nanos()
+        );
+        // Heavy tail: some draws land well past 4× the mean.
+        assert!(draws.iter().any(|d| d.as_nanos() > mean.as_nanos() * 4));
+        // Retry jitter stays inside its window.
+        for _ in 0..1000 {
+            let j = inj.churn_retry_jitter(SimDuration::from_micros(50));
+            assert!(j <= SimDuration::from_micros(50));
+        }
     }
 
     #[test]

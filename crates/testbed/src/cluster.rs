@@ -49,11 +49,12 @@ use es2_core::EventPathConfig;
 use es2_sim::lane::{run_lanes, run_lanes_parallel, run_lanes_serial, LaneSim, Outbox};
 use es2_sim::{FaultInjector, FaultPlan, SimDuration, SimTime};
 
+use crate::churn::{self, Call, ChurnLedger};
 use crate::lanes::CROSS_LANE_LOOKAHEAD;
 use crate::liveness::{self, LivenessReport};
 use crate::machine::{Machine, Topology};
 use crate::migrate::{CrossOut, MigCosts, MigLedger, VmSnapshot};
-use crate::params::Params;
+use crate::params::{ChurnSpec, Params};
 use crate::results::RunResult;
 use crate::workload::WorkloadSpec;
 
@@ -87,6 +88,9 @@ pub struct ClusterSpec {
     pub costs: MigCosts,
     /// Delay between a host crash and its victims' cold restarts.
     pub restart_delay: SimDuration,
+    /// Tenant-churn control plane (`None`: static fleet only, and the
+    /// run is byte-identical to a spec without the field).
+    pub churn: Option<ChurnSpec>,
 }
 
 impl ClusterSpec {
@@ -112,6 +116,7 @@ impl ClusterSpec {
             moves: Vec::new(),
             costs: MigCosts::default(),
             restart_delay: SimDuration::from_millis(1),
+            churn: None,
         }
     }
 }
@@ -131,7 +136,7 @@ pub fn best_fit(demand: u32, free: &[u32]) -> Option<usize> {
 /// Evacuation placement: the least-loaded alive host (most free; ties
 /// to the lowest id), ignoring capacity if the cell is overcommitted —
 /// a crash must never strand a victim for lack of headroom.
-fn evacuation_target(free: &[u32], alive: &[bool]) -> Option<usize> {
+pub(crate) fn evacuation_target(free: &[u32], alive: &[bool]) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (h, &f) in free.iter().enumerate() {
         if alive[h] && best.is_none_or(|b| f > free[b]) {
@@ -145,7 +150,7 @@ fn evacuation_target(free: &[u32], alive: &[bool]) -> Option<usize> {
 /// routing cross-host messages. Built entirely at construction time
 /// (locations are a deterministic function of the spec), so routing a
 /// message is a read-only lookup — no cross-lane state races.
-struct Timeline {
+pub(crate) struct Timeline {
     /// Per-VM `(since, host)` guest-location segments, time-ascending.
     guest: Vec<Vec<(SimTime, u32)>>,
     /// Per-VM external-peer location segments (peers move only on
@@ -154,7 +159,7 @@ struct Timeline {
 }
 
 impl Timeline {
-    fn host_at(segs: &[(SimTime, u32)], at: SimTime) -> u32 {
+    pub(crate) fn host_at(segs: &[(SimTime, u32)], at: SimTime) -> u32 {
         debug_assert!(!segs.is_empty(), "location query for an unplaced VM");
         let mut h = segs[0].1;
         for &(t, hh) in segs {
@@ -304,11 +309,15 @@ pub struct ClusterResult {
     pub rejected: u32,
     pub hosts: u32,
     pub cap_vms_per_host: u32,
-    /// Final guest location per fleet VM (`None`: rejected at admission,
-    /// mid-blackout at end of run, or lost to a crash window).
+    /// Final guest location per global slot — fleet VMs first, then
+    /// churn slots (`None`: rejected at admission, mid-blackout at end
+    /// of run, lost to a crash window, or a churn tenant that departed
+    /// or never booted).
     pub final_host: Vec<Option<u32>>,
     /// Liveness over every surviving host, violations prefixed `host{h}`.
     pub liveness: LivenessReport,
+    /// Churn control-plane ledger (`None` when churn is disabled).
+    pub churn: Option<ChurnLedger>,
 }
 
 impl ClusterResult {
@@ -393,11 +402,36 @@ impl ClusterResult {
                 .collect::<Vec<_>>()
                 .join(","),
         );
+        // Churn lines exist only when churn is enabled, so churn-off
+        // digests keep their legacy bytes (the golden-prefix gates).
+        if let Some(c) = &self.churn {
+            let _ = writeln!(s, "{}", c.digest_line());
+            let l = &self.ledger;
+            let _ = writeln!(
+                s,
+                "churn_rt boots={} departs={} boot_timeouts={} ctl_errors={}",
+                l.boots,
+                l.departs,
+                l.boot_timeouts,
+                l.ctl_errors.len()
+            );
+        }
         s
+    }
+
+    /// Orphaned-resource count: conservation-invariant violations (a
+    /// reclaimed slot retaining threads, ring entries, vectors, vhost
+    /// work, or staged control state). Zero is the leak-proof gate.
+    pub fn orphans(&self) -> usize {
+        self.liveness
+            .violations
+            .iter()
+            .filter(|v| v.contains("orphan"))
+            .count()
     }
 }
 
-fn percentile_ns(ns: &[u64], q: f64) -> f64 {
+pub(crate) fn percentile_ns(ns: &[u64], q: f64) -> f64 {
     if ns.is_empty() {
         return 0.0;
     }
@@ -414,6 +448,9 @@ pub struct Cluster {
     admitted: u32,
     hosts: u32,
     cap_vms_per_host: u32,
+    /// Fleet slots plus pre-allocated churn slots.
+    n_total: usize,
+    churn: Option<ChurnLedger>,
 }
 
 impl Cluster {
@@ -468,8 +505,9 @@ impl Cluster {
             .map(|_| injector.on_migration_planned())
             .collect();
 
-        // --- Compile the move schedule + crash evacuations into the
-        //     location timeline, chronologically. ---
+        // --- Compile the control schedule: moves, crash evacuations,
+        //     and (when enabled) the churn lifecycle — chronologically,
+        //     into the location timeline and per-host call lists. ---
         // The worst blackout any move can produce bounds how close two
         // moves of the same VM may be scheduled.
         let dirty_cap = 4 * spec.params.ring_size as u64 + spec.params.host_backlog as u64;
@@ -477,150 +515,37 @@ impl Cluster {
             + spec.costs.copy_base
             + SimDuration::from_nanos(spec.costs.copy_per_unit.as_nanos().saturating_mul(dirty_cap))
             + spec.costs.resume;
+        let end = SimTime::ZERO + spec.params.warmup + spec.params.measure;
 
-        let mut moves: Vec<(usize, PlannedMove, bool)> = spec
-            .moves
-            .iter()
-            .copied()
-            .zip(aborts)
-            .enumerate()
-            .map(|(i, (m, a))| (i, m, a))
-            .collect();
-        moves.sort_by_key(|(i, m, _)| (m.at, *i));
-        let mut crashes: Vec<(SimTime, usize)> = crash_at
-            .iter()
-            .enumerate()
-            .filter_map(|(h, c)| c.map(|t| (t, h)))
-            .collect();
-        crashes.sort();
-
-        let mut guest_tl: Vec<Vec<(SimTime, u32)>> = placement
-            .iter()
-            .map(|p| p.map(|h| vec![(SimTime::ZERO, h)]).unwrap_or_default())
-            .collect();
-        let mut ext_tl = guest_tl.clone();
-        let mut last_move_at: Vec<Option<SimTime>> = vec![None; n];
-        let mut alive = vec![true; hosts];
-        // Per-host scheduling calls, applied to machines after build:
-        // (at, vm, kind).
-        enum Call {
-            Out { at: SimTime, vm: u32, abort: bool },
-            In { at: SimTime, vm: u32 },
-            Restart { at: SimTime, vm: u32 },
-            ExtRetire { at: SimTime, vm: u32 },
-        }
-        let mut calls: Vec<Vec<Call>> = (0..hosts).map(|_| Vec::new()).collect();
-
-        let mut mi = 0usize;
-        let mut ci = 0usize;
-        while mi < moves.len() || ci < crashes.len() {
-            let take_move = match (moves.get(mi), crashes.get(ci)) {
-                (Some((_, m, _)), Some(&(tc, _))) => m.at < tc,
-                (Some(_), None) => true,
-                _ => false,
-            };
-            if take_move {
-                let (_, m, abort) = moves[mi];
-                mi += 1;
-                let vmi = m.vm as usize;
-                assert!(vmi < n, "move of unknown VM {}", m.vm);
-                assert!(
-                    !guest_tl[vmi].is_empty(),
-                    "move of VM {} that admission rejected",
-                    m.vm
-                );
-                let from = Timeline::host_at(&guest_tl[vmi], m.at);
-                assert!((m.to as usize) < hosts, "move to unknown host {}", m.to);
-                assert_ne!(from, m.to, "move of VM {} to its current host", m.vm);
-                assert!(
-                    alive[from as usize] && alive[m.to as usize],
-                    "move of VM {} touches a host that is already down",
-                    m.vm
-                );
-                if let Some(prev) = last_move_at[vmi] {
-                    assert!(
-                        m.at >= prev + max_blackout + CROSS_LANE_LOOKAHEAD,
-                        "moves of VM {} are closer than the worst-case blackout",
-                        m.vm
-                    );
-                }
-                last_move_at[vmi] = Some(m.at);
-                calls[from as usize].push(Call::Out {
-                    at: m.at,
-                    vm: m.vm,
-                    abort,
-                });
-                if !abort {
-                    calls[m.to as usize].push(Call::In { at: m.at, vm: m.vm });
-                    guest_tl[vmi].push((m.at, m.to));
-                }
-            } else {
-                let (tc, h) = crashes[ci];
-                ci += 1;
-                alive[h] = false;
-                let restart_at = tc + spec.restart_delay;
-                // Occupancy right now, for evacuation spreading.
-                let mut occ_free = vec![0u32; hosts];
-                for (g, segs) in guest_tl.iter().enumerate() {
-                    if !segs.is_empty() {
-                        let at_host = Timeline::host_at(segs, tc) as usize;
-                        occ_free[at_host] += 1;
-                        let _ = g;
-                    }
-                }
-                let cap = spec.cap_vms_per_host;
-                for f in &mut occ_free {
-                    *f = cap.saturating_sub(*f);
-                }
-                // Victims: every VM whose guest lives on `h` at the
-                // crash — including one mid-copy *into* h (its snapshot
-                // will be dropped on arrival) and one mid-abort-rollback
-                // on h. A VM mid-copy *out of* h already reads as moved
-                // (its snapshot left at pause time) and survives.
-                for g in 0..n {
-                    if guest_tl[g].is_empty() {
-                        continue;
-                    }
-                    if Timeline::host_at(&guest_tl[g], tc) as usize != h {
-                        continue;
-                    }
-                    let target = evacuation_target(&occ_free, &alive)
-                        .expect("no surviving host to evacuate to");
-                    occ_free[target] = occ_free[target].saturating_sub(1);
-                    guest_tl[g].push((restart_at, target as u32));
-                    let old_ext = Timeline::host_at(&ext_tl[g], tc) as usize;
-                    ext_tl[g].push((restart_at, target as u32));
-                    calls[target].push(Call::Restart {
-                        at: restart_at,
-                        vm: g as u32,
-                    });
-                    // The restart rebuilds the external peer next to the
-                    // guest; a surviving old peer host retires its copy.
-                    if old_ext != h && old_ext != target && alive[old_ext] {
-                        calls[old_ext].push(Call::ExtRetire {
-                            at: restart_at,
-                            vm: g as u32,
-                        });
-                    }
-                }
-            }
-        }
+        let compiled = churn::compile(
+            &spec,
+            &placement,
+            &crash_at,
+            aborts,
+            &mut injector,
+            max_blackout,
+            end,
+        );
+        let n_total = compiled.slot_specs.len();
 
         let tl = Arc::new(Timeline {
-            guest: guest_tl,
-            ext: ext_tl,
+            guest: compiled.guest_tl,
+            ext: compiled.ext_tl,
         });
 
-        // --- Build the host machines over the global slot table. ---
+        // --- Build the host machines over the global slot table (the
+        //     static fleet plus one pre-allocated slot per arrival). ---
         let topo = Topology {
-            num_vms: n as u32,
+            num_vms: n_total as u32,
             vcpus_per_vm: spec.vcpus_per_vm,
         };
         let mut p = spec.params;
-        p.num_cores = p.num_cores.max(spec.vcpus_per_vm + n as u32);
+        p.num_cores = p.num_cores.max(spec.vcpus_per_vm + n_total as u32);
         let mut lanes = Vec::with_capacity(hosts);
-        for h in 0..hosts {
-            let specs_h: Vec<WorkloadSpec> = placement
+        for (h, &host_crash_at) in crash_at.iter().enumerate().take(hosts) {
+            // Churn slots start dormant everywhere; a boot call installs
+            // the real workload on the admitting host mid-run.
+            let mut specs_h: Vec<WorkloadSpec> = placement
                 .iter()
                 .zip(&spec.fleet)
                 .map(|(p, w)| {
@@ -631,6 +556,7 @@ impl Cluster {
                     }
                 })
                 .collect();
+            specs_h.resize(n_total, WorkloadSpec::IdleQuiet);
             let mut m = Machine::with_specs_faulted(
                 spec.cfg,
                 topo,
@@ -646,20 +572,30 @@ impl Cluster {
                     _ => {}
                 }
             }
-            for call in &calls[h] {
+            // Churn slots are non-resident on every host until booted
+            // (unlike a placement-None fleet slot, which stays a local
+            // dormant VM): residency is established only by VmBoot.
+            for g in n..n_total {
+                m.mark_remote(g as u32);
+            }
+            for call in &compiled.calls[h] {
                 match *call {
                     Call::Out { at, vm, abort } => m.schedule_migration_out(at, vm, abort),
                     Call::In { at, vm } => m.schedule_migration_in(at, vm),
                     Call::Restart { at, vm } => {
-                        m.schedule_cold_restart(at, vm, spec.fleet[vm as usize])
+                        m.schedule_cold_restart(at, vm, compiled.slot_specs[vm as usize])
                     }
                     Call::ExtRetire { at, vm } => m.schedule_ext_retire(at, vm),
+                    Call::Boot { at, vm, spec, stuck } => m.schedule_vm_boot(at, vm, spec, stuck),
+                    Call::Depart { at, vm } => m.schedule_vm_depart(at, vm),
+                    Call::BootTimeout { at, vm } => m.schedule_boot_timeout(at, vm),
+                    Call::Note { at, vm, kind, arg } => m.schedule_churn_note(at, vm, kind, arg),
                 }
             }
             lanes.push(HostLane {
                 m,
                 host: h as u32,
-                crash_at: crash_at[h],
+                crash_at: host_crash_at,
                 done: false,
                 tl: Arc::clone(&tl),
             });
@@ -671,6 +607,8 @@ impl Cluster {
             admitted,
             hosts: spec.hosts,
             cap_vms_per_host: spec.cap_vms_per_host,
+            n_total,
+            churn: compiled.churn,
         }
     }
 
@@ -702,8 +640,12 @@ impl Cluster {
     fn collect(self) -> ClusterResult {
         let n = self.placement.len();
         // Final locations read off the surviving hosts' residency flags
-        // before the machines are consumed.
-        let mut final_host: Vec<Option<u32>> = vec![None; n];
+        // before the machines are consumed. A fleet slot needs its
+        // placement guard (a rejected slot is a local dormant VM on
+        // every host); a churn slot was marked remote everywhere at
+        // build, so its residency flag alone is authoritative.
+        let mut final_host: Vec<Option<u32>> = vec![None; self.n_total];
+        let mut residency_errors: Vec<String> = Vec::new();
         for lane in &self.lanes {
             if lane.crash_at.is_some() {
                 continue;
@@ -712,14 +654,25 @@ impl Cluster {
                 continue;
             };
             for (g, fh) in final_host.iter_mut().enumerate() {
-                if self.placement[g].is_some() && mig.guest_local[g] {
-                    debug_assert!(fh.is_none(), "VM {g} resident on two hosts");
+                let resident = if g < n {
+                    self.placement[g].is_some() && mig.guest_local[g]
+                } else {
+                    mig.guest_local[g]
+                };
+                if resident {
+                    if let Some(other) = *fh {
+                        residency_errors.push(format!(
+                            "VM {g} resident on two hosts ({other} and {})",
+                            lane.host
+                        ));
+                    }
                     *fh = Some(lane.host);
                 }
             }
         }
 
         let mut liveness_merged = LivenessReport::default();
+        liveness_merged.violations.extend(residency_errors);
         for lane in &self.lanes {
             if lane.crash_at.is_some() {
                 // A crashed host froze mid-flight; its invariants are
@@ -751,6 +704,11 @@ impl Cluster {
                 result: RunResult::collect(lane.m),
             });
         }
+        // Typed control-plane errors are still failures: promote every
+        // one to a liveness violation so nothing fails silently.
+        liveness_merged
+            .violations
+            .extend(ledger.ctl_errors.iter().map(|e| format!("ctl-error: {e}")));
 
         let rejected = n as u32 - self.admitted;
         ClusterResult {
@@ -762,6 +720,7 @@ impl Cluster {
             cap_vms_per_host: self.cap_vms_per_host,
             final_host,
             liveness: liveness_merged,
+            churn: self.churn,
         }
     }
 }

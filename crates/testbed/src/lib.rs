@@ -31,6 +31,7 @@
 //! ```
 
 pub mod backpressure;
+pub mod churn;
 pub mod cluster;
 pub mod experiments;
 mod external;
@@ -46,12 +47,13 @@ mod spans;
 mod telemetry;
 pub mod workload;
 
+pub use churn::ChurnLedger;
 pub use cluster::{Cluster, ClusterResult, ClusterSpec, PlannedMove};
 pub use lanes::ShardedMachine;
 pub use liveness::LivenessReport;
 pub use machine::{Machine, Topology, EV_KIND_NAMES};
 pub use migrate::{MigCosts, MigLedger};
 pub use es2_virtio::ShardPolicy;
-pub use params::{BackpressureParams, Params};
+pub use params::{BackpressureParams, ChurnSpec, Params};
 pub use results::RunResult;
 pub use workload::WorkloadSpec;

@@ -8,6 +8,8 @@
 //! accounting, and forward progress. The chaos suite runs every faulted
 //! sweep through [`Machine::run_checked`] and asserts the report is clean.
 
+use es2_sched::ThreadState;
+
 use crate::machine::Machine;
 use crate::results::RunResult;
 
@@ -146,6 +148,92 @@ pub fn check(m: &Machine) -> LivenessReport {
                     "vm{vmi} tx{qi}: {} buffers added, none ever completed",
                     pair.tx.added_total()
                 ));
+            }
+        }
+    }
+
+    // Reclaimed-slot conservation: after any mix of departures, failed
+    // boots, aborted migrations, and crashes, a slot torn down on this
+    // host must hold *nothing* — no thread awake, no handler turn, no
+    // queued vhost work, no ring entries or backlog, no parked or
+    // deliverable vectors, no staged control state. Anything left is a
+    // leak; every message says "orphan" so the bench gate can count
+    // leaked resources as a single fatal metric.
+    if let Some(mig) = m.mig.as_ref() {
+        for (vmi, vm) in m.vms.iter().enumerate() {
+            if !mig.reclaimed[vmi] || mig.guest_local[vmi] {
+                continue;
+            }
+            for (idx, &tid) in vm.vcpu_tids.iter().enumerate() {
+                if m.sched.entity(tid).state != ThreadState::Sleeping {
+                    rep.fail(format!(
+                        "vm{vmi} vcpu{idx}: orphan thread awake after reclamation"
+                    ));
+                }
+            }
+            for (idx, &tid) in vm.vhost_tids.iter().enumerate() {
+                if m.sched.entity(tid).state != ThreadState::Sleeping {
+                    rep.fail(format!(
+                        "vm{vmi} vhost{idx}: orphan worker thread awake after reclamation"
+                    ));
+                }
+            }
+            for (w, h) in vm.cur_handler.iter().enumerate() {
+                if h.is_some() {
+                    rep.fail(format!(
+                        "vm{vmi} worker{w}: orphan handler turn after reclamation"
+                    ));
+                }
+                if vm.worker.has_work_on(w) {
+                    rep.fail(format!(
+                        "vm{vmi} worker{w}: orphan vhost work queued after reclamation"
+                    ));
+                }
+            }
+            for (qi, pair) in vm.pairs.iter().enumerate() {
+                let held = pair.tx.avail_pending() as u64
+                    + pair.tx.used_pending() as u64
+                    + pair.rx.avail_pending() as u64
+                    + pair.rx.used_pending() as u64;
+                if held != 0 {
+                    rep.fail(format!(
+                        "vm{vmi} pair{qi}: {held} orphan ring entries after reclamation"
+                    ));
+                }
+                if !pair.backlog.is_empty() {
+                    rep.fail(format!(
+                        "vm{vmi} pair{qi}: {} orphan backlog packets after reclamation",
+                        pair.backlog.len()
+                    ));
+                }
+            }
+            if !vm.parked_irqs.is_empty() {
+                rep.fail(format!(
+                    "vm{vmi}: {} orphan parked vectors after reclamation",
+                    vm.parked_irqs.len()
+                ));
+            }
+            for (idx, v) in vm.vcpus.iter().enumerate() {
+                if v.has_deliverable() {
+                    rep.fail(format!(
+                        "vm{vmi} vcpu{idx}: orphan deliverable interrupt after reclamation"
+                    ));
+                }
+            }
+            if mig.incoming[vmi].is_some() {
+                rep.fail(format!("vm{vmi}: orphan blackout buffer after reclamation"));
+            }
+            if mig.staged[vmi].is_some() {
+                rep.fail(format!("vm{vmi}: orphan staged snapshot after reclamation"));
+            }
+            if !mig.out_plan[vmi].is_empty() {
+                rep.fail(format!("vm{vmi}: orphan migration plan after reclamation"));
+            }
+            if !mig.boots[vmi].is_empty() {
+                rep.fail(format!("vm{vmi}: orphan staged boot after reclamation"));
+            }
+            if !mig.restarts[vmi].is_empty() {
+                rep.fail(format!("vm{vmi}: orphan staged restart after reclamation"));
             }
         }
     }

@@ -406,6 +406,31 @@ pub(crate) enum Ev {
     ColdRestart {
         vm: u32,
     },
+    /// Tenant churn: an admitted arrival's boot lands in slot `vm` on
+    /// this host. A clean boot brings the slot fully live (like a cold
+    /// restart); a `stuck` boot parks the vCPUs mid-handshake — the
+    /// virtio device never comes up — and waits for its timeout.
+    VmBoot {
+        vm: u32,
+    },
+    /// Tenant churn: slot `vm`'s lifetime ended — tear the VM down and
+    /// reclaim every resource it held (threads, rings, vectors, peer).
+    VmDepart {
+        vm: u32,
+    },
+    /// Tenant churn: a stuck boot's handshake timer fired — roll the
+    /// partial boot back and reclaim the slot.
+    BootTimeout {
+        vm: u32,
+    },
+    /// Tenant churn: a control-plane decision (admit/reject) joins the
+    /// observability stream. Strictly observational: tracer + telemetry
+    /// annotation only, never touches RNG or VM state.
+    ChurnNote {
+        vm: u32,
+        kind: &'static str,
+        arg: u64,
+    },
 }
 
 /// Display names for `Ev` kinds, indexed by `Ev::kind_idx`. Public
@@ -439,6 +464,10 @@ pub const EV_KIND_NAMES: &[&str] = &[
     "RetargetMsi",
     "ExtRetire",
     "ColdRestart",
+    "VmBoot",
+    "VmDepart",
+    "BootTimeout",
+    "ChurnNote",
 ];
 
 impl Ev {
@@ -474,6 +503,10 @@ impl Ev {
             Ev::RetargetMsi { .. } => 25,
             Ev::ExtRetire { .. } => 26,
             Ev::ColdRestart { .. } => 27,
+            Ev::VmBoot { .. } => 28,
+            Ev::VmDepart { .. } => 29,
+            Ev::BootTimeout { .. } => 30,
+            Ev::ChurnNote { .. } => 31,
         }
     }
 }
@@ -1220,6 +1253,10 @@ impl Machine {
             Ev::RetargetMsi { vm, vector } => self.on_retarget_msi(vm, vector),
             Ev::ExtRetire { vm } => self.on_ext_retire(vm),
             Ev::ColdRestart { vm } => self.on_cold_restart(vm),
+            Ev::VmBoot { vm } => self.on_vm_boot(vm),
+            Ev::VmDepart { vm } => self.on_vm_depart(vm),
+            Ev::BootTimeout { vm } => self.on_boot_timeout(vm),
+            Ev::ChurnNote { vm, kind, arg } => self.on_churn_note(vm, kind, arg),
         }
     }
 

@@ -100,6 +100,17 @@ pub struct MigLedger {
     pub retargets: u64,
     /// Crash victims cold-restarted on this host.
     pub restarts: u64,
+    /// Churn arrivals booted clean on this host.
+    pub boots: u64,
+    /// Churn tenants torn down here at end of lifetime.
+    pub departs: u64,
+    /// Stuck boots rolled back here after their handshake timeout.
+    pub boot_timeouts: u64,
+    /// Control-plane operations that arrived against a slot in the wrong
+    /// state (stale plan entry, missing snapshot/spec, teardown of a
+    /// non-resident slot). Each is a typed error recorded instead of a
+    /// panic; `liveness` promotes any entry to a fatal violation.
+    pub ctl_errors: Vec<String>,
     /// Full blackout per resume landing here (nanoseconds).
     pub blackout_ns: Vec<u64>,
     /// Pause-phase cost per departure from this host (nanoseconds).
@@ -118,6 +129,10 @@ impl MigLedger {
         self.aborts += o.aborts;
         self.retargets += o.retargets;
         self.restarts += o.restarts;
+        self.boots += o.boots;
+        self.departs += o.departs;
+        self.boot_timeouts += o.boot_timeouts;
+        self.ctl_errors.extend_from_slice(&o.ctl_errors);
         self.blackout_ns.extend_from_slice(&o.blackout_ns);
         self.pause_ns.extend_from_slice(&o.pause_ns);
         self.copy_ns.extend_from_slice(&o.copy_ns);
@@ -191,8 +206,22 @@ pub(crate) struct MigState {
     pub(crate) staged: Vec<Option<Box<VmSnapshot>>>,
     /// Planned out-moves per slot, popped by [`Ev::MigrateStart`].
     pub(crate) out_plan: Vec<VecDeque<PlannedOut>>,
-    /// Cold-restart specs per slot, taken by [`Ev::ColdRestart`].
-    pub(crate) restarts: Vec<Option<WorkloadSpec>>,
+    /// Cold-restart specs per slot, popped by [`Ev::ColdRestart`]. A
+    /// queue, not an option: one slot can crash-restart here more than
+    /// once in a run.
+    pub(crate) restarts: Vec<VecDeque<WorkloadSpec>>,
+    /// Churn boot specs per slot (`spec`, `stuck`), popped by
+    /// [`Ev::VmBoot`] — a retried arrival can boot on the same host
+    /// twice, so staging must queue, not overwrite.
+    pub(crate) boots: Vec<VecDeque<(WorkloadSpec, bool)>>,
+    /// Slot was torn down on this host at least once (departure or
+    /// boot-timeout rollback). A reclaimed, non-resident slot drops
+    /// tenant-bound traffic at the host edge instead of forwarding it
+    /// (the tenant is gone; forwarding would bounce against the stale
+    /// timeline forever), and `liveness` holds it to the conservation
+    /// invariant: zero retained threads, ring entries, vectors, or
+    /// vhost work.
+    pub(crate) reclaimed: Vec<bool>,
     /// Cross-host emissions staged by the gate, drained by the lane.
     pub(crate) cross_out: Vec<CrossOut>,
     pub(crate) costs: MigCosts,
@@ -214,7 +243,9 @@ impl Machine {
             incoming: (0..n).map(|_| None).collect(),
             staged: (0..n).map(|_| None).collect(),
             out_plan: vec![VecDeque::new(); n],
-            restarts: vec![None; n],
+            restarts: vec![VecDeque::new(); n],
+            boots: vec![VecDeque::new(); n],
+            reclaimed: vec![false; n],
             cross_out: Vec::new(),
             costs,
             ledger: MigLedger::default(),
@@ -247,7 +278,7 @@ impl Machine {
 
     /// Schedule a crash victim's cold restart here at `at`.
     pub(crate) fn schedule_cold_restart(&mut self, at: SimTime, vm: u32, spec: WorkloadSpec) {
-        self.mig_mut().restarts[vm as usize] = Some(spec);
+        self.mig_mut().restarts[vm as usize].push_back(spec);
         self.q.push(at, Ev::ColdRestart { vm });
     }
 
@@ -255,6 +286,29 @@ impl Machine {
     /// guest crash-restarted on another host, which rebuilt the peer).
     pub(crate) fn schedule_ext_retire(&mut self, at: SimTime, vm: u32) {
         self.q.push(at, Ev::ExtRetire { vm });
+    }
+
+    /// Schedule a churn arrival's boot in slot `vm` here at `at`. A
+    /// `stuck` boot parks mid-handshake and waits for its timeout.
+    pub(crate) fn schedule_vm_boot(&mut self, at: SimTime, vm: u32, spec: WorkloadSpec, stuck: bool) {
+        self.mig_mut().boots[vm as usize].push_back((spec, stuck));
+        self.q.push(at, Ev::VmBoot { vm });
+    }
+
+    /// Schedule the end of churn tenant `vm`'s lifetime here at `at`.
+    pub(crate) fn schedule_vm_depart(&mut self, at: SimTime, vm: u32) {
+        self.q.push(at, Ev::VmDepart { vm });
+    }
+
+    /// Schedule the handshake-timeout rollback of a stuck boot at `at`.
+    pub(crate) fn schedule_boot_timeout(&mut self, at: SimTime, vm: u32) {
+        self.q.push(at, Ev::BootTimeout { vm });
+    }
+
+    /// Schedule an observational control-plane note (admit/reject) at
+    /// `at`: tracer + telemetry annotation only.
+    pub(crate) fn schedule_churn_note(&mut self, at: SimTime, vm: u32, kind: &'static str, arg: u64) {
+        self.q.push(at, Ev::ChurnNote { vm, kind, arg });
     }
 
     /// Drain the cross-host emissions staged since the last step.
@@ -306,6 +360,12 @@ impl Machine {
                     buf.pkts.push(pkt);
                     None
                 } else if !m.guest_local[vmi] {
+                    if m.reclaimed[vmi] {
+                        // The tenant was torn down here; its old flows
+                        // drop at the host edge rather than bouncing
+                        // against the stale location timeline.
+                        return None;
+                    }
                     let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
                     m.cross_out.push(CrossOut::GuestPkt { vm, at, pkt });
                     None
@@ -317,6 +377,9 @@ impl Machine {
                 let now = self.now;
                 let m = self.mig.as_mut().unwrap();
                 if !m.ext_local[vm as usize] {
+                    if m.reclaimed[vm as usize] {
+                        return None;
+                    }
                     let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
                     m.cross_out.push(CrossOut::ExtPkt { vm, at, pkt });
                     None
@@ -332,6 +395,9 @@ impl Machine {
                     buf.msis.push(vector);
                     None
                 } else if !m.guest_local[vmi] {
+                    if m.reclaimed[vmi] {
+                        return None;
+                    }
                     let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
                     m.cross_out.push(CrossOut::StaleMsi { vm, at, vector });
                     None
@@ -351,6 +417,9 @@ impl Machine {
                     buf.msis.push(vector);
                     None
                 } else if !m.guest_local[vmi] {
+                    if m.reclaimed[vmi] {
+                        return None;
+                    }
                     let at = now + crate::lanes::CROSS_LANE_LOOKAHEAD;
                     m.cross_out.push(CrossOut::StaleMsi { vm, at, vector });
                     None
@@ -543,6 +612,9 @@ impl Machine {
         let buf = {
             let m = self.mig.as_mut().unwrap();
             m.guest_local[vmi] = true;
+            // A live tenant arrived: the slot is no longer a reclaimed
+            // sink (its traffic must forward again if it moves on).
+            m.reclaimed[vmi] = false;
             m.ledger.resumed += 1;
             m.ledger.blackout_ns.push(snap.blackout.as_nanos());
             m.ledger.resume_ns.push(snap.resume_cost.as_nanos());
@@ -660,11 +732,26 @@ impl Machine {
     // Event handlers
     // -----------------------------------------------------------------
 
+    /// Record a control-plane typed error: an operation arrived against
+    /// a slot in the wrong state (stale plan entry, missing snapshot or
+    /// spec, teardown of a non-resident slot). Once slots free mid-run
+    /// these paths are reachable, so they must not panic — `liveness`
+    /// promotes every recorded entry to a fatal violation instead (the
+    /// same discipline as the vhost panic audit).
+    fn ctl_error(&mut self, vm: u32, msg: String) {
+        self.tracer.record(self.now, "ctl-error", vm as u64, 0);
+        self.mig_mut().ledger.ctl_errors.push(msg);
+    }
+
     pub(crate) fn on_migrate_start(&mut self, vm: u32) {
         let vmi = vm as usize;
-        let planned = self.mig_mut().out_plan[vmi]
-            .pop_front()
-            .expect("MigrateStart without a planned move");
+        let planned = match self.mig_mut().out_plan[vmi].pop_front() {
+            Some(p) => p,
+            None => {
+                self.ctl_error(vm, format!("MigrateStart for vm{vm} without a planned move"));
+                return;
+            }
+        };
         let snap = self.pause_vm(vm);
         let blackout = snap.blackout;
         let at = self.now + blackout;
@@ -695,9 +782,13 @@ impl Machine {
     }
 
     pub(crate) fn on_migrate_arrive(&mut self, vm: u32) {
-        let snap = self.mig_mut().staged[vm as usize]
-            .take()
-            .expect("MigrateArrive without a staged snapshot");
+        let snap = match self.mig_mut().staged[vm as usize].take() {
+            Some(s) => s,
+            None => {
+                self.ctl_error(vm, format!("MigrateArrive for vm{vm} without a staged snapshot"));
+                return;
+            }
+        };
         if let Some(t) = self.tel.as_deref_mut() {
             t.annotate(self.now.as_nanos(), vm, "migrate-arrive", 0);
         }
@@ -728,13 +819,81 @@ impl Machine {
     /// host is gone — this is disaster recovery, not live migration —
     /// but the restarted VM regains full forward progress.
     pub(crate) fn on_cold_restart(&mut self, vm: u32) {
+        let spec = match self.mig_mut().restarts[vm as usize].pop_front() {
+            Some(s) => s,
+            None => {
+                self.ctl_error(vm, format!("ColdRestart for vm{vm} without a spec"));
+                return;
+            }
+        };
+        self.mig_mut().ledger.restarts += 1;
+        self.boot_fresh_vm(vm, spec, "cold-restart");
+    }
+
+    /// A churn arrival's boot lands here: a clean boot is a fresh VM
+    /// exactly like a cold restart; a stuck boot parks mid-handshake and
+    /// occupies the slot until its timeout rolls it back.
+    pub(crate) fn on_vm_boot(&mut self, vm: u32) {
+        let (spec, stuck) = match self.mig_mut().boots[vm as usize].pop_front() {
+            Some(b) => b,
+            None => {
+                self.ctl_error(vm, format!("VmBoot for vm{vm} without a staged boot"));
+                return;
+            }
+        };
+        if stuck {
+            self.partial_boot(vm);
+        } else {
+            self.mig_mut().ledger.boots += 1;
+            self.boot_fresh_vm(vm, spec, "vm-boot");
+        }
+    }
+
+    /// Churn tenant `vm`'s lifetime ended: tear it down and reclaim.
+    pub(crate) fn on_vm_depart(&mut self, vm: u32) {
+        if self.teardown_vm(vm, "vm-depart") {
+            self.mig_mut().ledger.departs += 1;
+        }
+    }
+
+    /// A stuck boot's handshake timer fired: roll the partial boot back.
+    pub(crate) fn on_boot_timeout(&mut self, vm: u32) {
+        if self.teardown_vm(vm, "boot-timeout") {
+            self.mig_mut().ledger.boot_timeouts += 1;
+        }
+    }
+
+    /// Observational control-plane note (admit/reject): tracer and
+    /// telemetry annotation only — never touches RNG or VM state.
+    pub(crate) fn on_churn_note(&mut self, vm: u32, kind: &'static str, arg: u64) {
+        self.tracer.record(self.now, kind, vm as u64, arg);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.annotate(self.now.as_nanos(), vm, kind, arg);
+        }
+    }
+
+    /// Bring slot `vm` fully live with fresh state: fresh rings, fresh
+    /// external peer rebuilt locally, guest booted exactly like
+    /// bootstrap. Shared by cold restarts and clean churn boots.
+    fn boot_fresh_vm(&mut self, vm: u32, spec: WorkloadSpec, label: &'static str) {
         let vmi = vm as usize;
-        let spec = self.mig_mut().restarts[vmi]
-            .take()
-            .expect("ColdRestart without a spec");
         let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
         let vhost_tids = self.vms[vmi].vhost_tids.clone();
 
+        // The dormant slot's threads may still be awake (a parked vCPU
+        // waiting for its first slice on a busy host): park them before
+        // rebooting, exactly like a teardown. No-op on sleeping threads,
+        // so a cold restart of a long-dormant slot is unchanged.
+        for &tid in &vcpu_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        for &tid in &vhost_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
         for &tid in &vcpu_tids {
             self.threads[tid.idx()].gen.bump();
             self.threads[tid.idx()].seg = None;
@@ -762,11 +921,11 @@ impl Machine {
             m.guest_local[vmi] = true;
             m.ext_local[vmi] = true;
             m.incoming[vmi] = None;
-            m.ledger.restarts += 1;
+            m.reclaimed[vmi] = false;
         }
-        self.tracer.record(self.now, "cold-restart", vm as u64, 0);
+        self.tracer.record(self.now, label, vm as u64, 0);
         if let Some(t) = self.tel.as_deref_mut() {
-            t.annotate(self.now.as_nanos(), vm, "cold-restart", 0);
+            t.annotate(self.now.as_nanos(), vm, label, 0);
         }
 
         // Boot the guest exactly like bootstrap does: staggered
@@ -789,6 +948,126 @@ impl Machine {
                     .push(self.now + self.p.guest_rto_check, Ev::GuestTcpTimeout { vm });
             }
         }
+    }
+
+    /// A stuck boot: the vCPUs come up (firmware spin, then halt) but
+    /// the virtio handshake never completes — no device, no external
+    /// peer, no traffic. The slot counts against its host's capacity
+    /// until the handshake timeout tears it back down.
+    fn partial_boot(&mut self, vm: u32) {
+        let vmi = vm as usize;
+        let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
+        let vhost_tids = self.vms[vmi].vhost_tids.clone();
+        for &tid in &vcpu_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        for &tid in &vhost_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        for &tid in &vcpu_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
+        for &tid in &vhost_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
+        let fresh = Self::blank_vm_state(
+            &self.p,
+            &self.cfg,
+            vm,
+            &WorkloadSpec::IdleQuiet,
+            false,
+            vcpu_tids.clone(),
+            vhost_tids,
+        );
+        self.vms[vmi] = fresh;
+        self.specs[vmi] = WorkloadSpec::IdleQuiet;
+        self.ext[vmi] = crate::workload::ExtWl::Idle;
+        {
+            let m = self.mig_mut();
+            m.guest_local[vmi] = true;
+            m.ext_local[vmi] = false;
+            m.incoming[vmi] = None;
+            m.reclaimed[vmi] = false;
+        }
+        self.tracer.record(self.now, "vm-boot-stuck", vm as u64, 1);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.annotate(self.now.as_nanos(), vm, "vm-boot", 1);
+        }
+        let latency = self.p.sched.sched_latency.as_nanos();
+        for &tid in &vcpu_tids {
+            let nudge = self.rng.gen_range(latency);
+            self.sched.nudge_vruntime(tid, nudge);
+            self.wake_thread(tid);
+        }
+    }
+
+    /// Tear slot `vm` down and reclaim everything it held: threads
+    /// descheduled (running vCPUs take a forced exit on the way out,
+    /// exactly like a migration pause), pending segment completions die
+    /// via the generation bump, and the slot becomes a fresh dormant VM
+    /// with empty rings — so the conservation invariant holds by
+    /// construction, and anything a teardown path misses shows up
+    /// against it. Returns `false` (with a typed error recorded) if the
+    /// slot is not resident here.
+    pub(crate) fn teardown_vm(&mut self, vm: u32, label: &'static str) -> bool {
+        let vmi = vm as usize;
+        let resident = self.mig.as_ref().is_some_and(|m| m.guest_local[vmi]);
+        if !resident {
+            self.ctl_error(vm, format!("{label} for vm{vm} that is not resident here"));
+            return false;
+        }
+        let vcpu_tids = self.vms[vmi].vcpu_tids.clone();
+        let vhost_tids = self.vms[vmi].vhost_tids.clone();
+        for &tid in &vcpu_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        for &tid in &vhost_tids {
+            if let Some(sw) = self.sched.deactivate(tid, self.now) {
+                self.apply_switch(sw);
+            }
+        }
+        for &tid in &vcpu_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
+        for &tid in &vhost_tids {
+            self.threads[tid.idx()].gen.bump();
+            self.threads[tid.idx()].seg = None;
+        }
+        let fresh = Self::blank_vm_state(
+            &self.p,
+            &self.cfg,
+            vm,
+            &WorkloadSpec::IdleQuiet,
+            false,
+            vcpu_tids,
+            vhost_tids,
+        );
+        self.vms[vmi] = fresh;
+        self.specs[vmi] = WorkloadSpec::IdleQuiet;
+        self.ext[vmi] = crate::workload::ExtWl::Idle;
+        {
+            let m = self.mig_mut();
+            m.guest_local[vmi] = false;
+            m.ext_local[vmi] = false;
+            m.incoming[vmi] = None;
+            // Deliberately leave `boots[vmi]` alone: a later boot of the
+            // same slot on this host may already be staged.
+            m.reclaimed[vmi] = true;
+        }
+        self.tracer.record(self.now, label, vm as u64, 0);
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.annotate(self.now.as_nanos(), vm, label, 0);
+        }
+        true
     }
 
     // -----------------------------------------------------------------

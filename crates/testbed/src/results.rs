@@ -84,6 +84,9 @@ pub struct RunResult {
     pub quarantines_total: u64,
     /// Guest-initiated queue resets across all VMs (tx + rx, lifetime).
     pub queue_resets_total: u64,
+    /// Slots torn down and reclaimed on this host (departures and
+    /// boot-timeout rollbacks; 0 on single-host or churn-off runs).
+    pub reclaimed_slots: u32,
     /// Device interrupts (TX-clean + RX, no timers) handled per vCPU of
     /// the tested VM — evidence of per-queue MSI steering.
     pub device_irqs_per_vcpu: Vec<u64>,
@@ -202,6 +205,10 @@ impl RunResult {
         let mut rx_p99_us_per_vm = Vec::with_capacity(m.vms.len());
         let mut quarantines_total = 0;
         let mut queue_resets_total = 0;
+        let reclaimed_slots = m
+            .mig
+            .as_ref()
+            .map_or(0, |mg| mg.reclaimed.iter().filter(|r| **r).count() as u32);
         for vm in &m.vms {
             backpressure.merge(&vm.bp);
             backpressure_per_vm.push(vm.bp);
@@ -257,6 +264,7 @@ impl RunResult {
             rx_p99_us_per_vm,
             quarantines_total,
             queue_resets_total,
+            reclaimed_slots,
             device_irqs_per_vcpu: vm0.device_irqs_per_vcpu.clone(),
             vhost_pending_hwm_per_worker: (0..vm0.worker.num_workers())
                 .map(|w| vm0.worker.pending_hwm_on(w) as u64)

@@ -139,6 +139,41 @@ ES2_LANES=4 ./target/release/repro chaos --fast --traced > /tmp/es2_lane_traced.
 cmp /tmp/es2_lane_untraced.txt /tmp/es2_lane_traced.txt
 rm -f /tmp/es2_lane_untraced.txt /tmp/es2_lane_traced.txt
 
+# Tenant-churn determinism: the churn control-plane report (admission
+# rates, retry/backoff outcomes, boot p99, conservation results) is
+# built from simulation-determined quantities only, so it must be
+# byte-identical serial (ES2_THREADS=1) vs the default thread count and
+# at every lane count — the lifecycle engine compiles the whole
+# arrival/departure/fault schedule before the machines run, so lane
+# partitioning cannot reorder it. The report must stay liveness-clean
+# with zero orphaned resources in every cell.
+ES2_THREADS=1 ./target/release/repro --churn --fast > /tmp/es2_churn_serial.txt
+./target/release/repro --churn --fast > /tmp/es2_churn_default.txt
+cmp /tmp/es2_churn_serial.txt /tmp/es2_churn_default.txt
+grep -q "PASS" /tmp/es2_churn_serial.txt
+if grep -q "FAIL" /tmp/es2_churn_serial.txt; then
+    echo "churn sweep reported a liveness failure" >&2
+    exit 1
+fi
+for lanes in 1 4 8; do
+    ES2_LANES=$lanes ES2_THREADS=1 ./target/release/repro --churn --fast > /tmp/es2_churn_serial.txt
+    ES2_LANES=$lanes ./target/release/repro --churn --fast > /tmp/es2_churn_default.txt
+    cmp /tmp/es2_churn_serial.txt /tmp/es2_churn_default.txt
+    grep -q "PASS" /tmp/es2_churn_serial.txt
+done
+rm -f /tmp/es2_churn_serial.txt /tmp/es2_churn_default.txt
+
+# Churn-off byte-identity: with no ChurnSpec in play, the chaos report
+# (whose plans never enable churn) must still reproduce the committed
+# golden prefix exactly — the churn machinery costs churn-free runs
+# zero bytes. This is the same golden the multi-host and multi-queue
+# gates pin; it is asserted again here so a churn regression cannot
+# hide behind those earlier cmps being reordered or removed.
+./target/release/repro chaos --fast > /tmp/es2_churn_off.txt
+head -n "$(wc -l < ci/golden_chaos_fast.txt)" /tmp/es2_churn_off.txt \
+    | cmp ci/golden_chaos_fast.txt -
+rm -f /tmp/es2_churn_off.txt
+
 # Guest trust boundary: the vhost backend's non-test code must stay free
 # of unwrap() on guest-reachable state — a hostile ring surfaces a typed
 # RingError and a quarantine, never a panic.
